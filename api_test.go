@@ -1,0 +1,95 @@
+package octgb
+
+import (
+	"math"
+	"testing"
+)
+
+func TestComputeDefault(t *testing.T) {
+	mol := GenerateProtein("api", 500, 3)
+	res, err := Compute(mol, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Energy >= 0 {
+		t.Errorf("E_pol = %v, want negative", res.Energy)
+	}
+	if len(res.BornRadii) != 500 {
+		t.Errorf("Born radii: %d", len(res.BornRadii))
+	}
+	for i, r := range res.BornRadii {
+		if r < mol.Atoms[i].Radius-1e-12 {
+			t.Fatalf("Born radius %d below vdW", i)
+		}
+	}
+}
+
+func TestComputeZeroOptionsMeansDefaults(t *testing.T) {
+	mol := GenerateProtein("api0", 300, 4)
+	a, err := Compute(mol, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compute(mol, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Energy != b.Energy {
+		t.Errorf("zero options %v != defaults %v", a.Energy, b.Energy)
+	}
+}
+
+func TestComputeRejectsBadInput(t *testing.T) {
+	if _, err := Compute(nil, DefaultOptions()); err == nil {
+		t.Error("nil molecule accepted")
+	}
+	if _, err := Compute(&Molecule{}, DefaultOptions()); err == nil {
+		t.Error("empty molecule accepted")
+	}
+	bad := &Molecule{Name: "bad", Atoms: []Atom{{Radius: -1}}}
+	if _, err := Compute(bad, DefaultOptions()); err == nil {
+		t.Error("invalid molecule accepted")
+	}
+}
+
+func TestComputeEnginesAgreeViaFacade(t *testing.T) {
+	mol := GenerateProtein("api2", 400, 5)
+	var energies []float64
+	for _, k := range []Kind{OctCilk, OctMPI, OctMPICilk, NaiveExact} {
+		o := DefaultOptions()
+		o.Engine = k
+		res, err := Compute(mol, o)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		energies = append(energies, res.Energy)
+	}
+	for _, e := range energies[1:] {
+		if rel := math.Abs(e-energies[0]) / math.Abs(energies[0]); rel > 0.05 {
+			t.Errorf("engines disagree: %v", energies)
+		}
+	}
+}
+
+func TestSimProjectionViaFacade(t *testing.T) {
+	mol := GenerateProtein("api3", 800, 6)
+	pr := NewProblem(mol, SurfaceOptions{})
+	sm := BuildSimModel(pr, OctMPI, EngineOptions{})
+	m := Lonestar4()
+	t12 := sm.Time(12, 1, m, -1)
+	t144 := sm.Time(144, 1, m, -1)
+	if t144.TotalSec >= t12.TotalSec {
+		t.Errorf("no projected scaling: %v vs %v", t144.TotalSec, t12.TotalSec)
+	}
+}
+
+func TestCapsidViaFacade(t *testing.T) {
+	mol := GenerateCapsid("apishell", 1200, 8, 7)
+	res, err := Compute(mol, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Energy >= 0 {
+		t.Errorf("capsid energy %v", res.Energy)
+	}
+}

@@ -1,0 +1,30 @@
+package octgb_test
+
+import (
+	"fmt"
+
+	"octgb"
+)
+
+// The minimal library use: one call from molecule to energy.
+func ExampleCompute() {
+	mol := octgb.GenerateProtein("example", 400, 1)
+	res, err := octgb.Compute(mol, octgb.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Energy < 0) // polarization always lowers the energy
+	// Output: true
+}
+
+// Projecting a run onto the paper's modeled 144-core cluster without
+// owning one.
+func ExampleSimModel() {
+	mol := octgb.GenerateProtein("example", 400, 1)
+	pr := octgb.NewProblem(mol, octgb.SurfaceOptions{})
+	sm := octgb.BuildSimModel(pr, octgb.OctMPI, octgb.EngineOptions{})
+	t12 := sm.Time(12, 1, octgb.Lonestar4(), -1)
+	t144 := sm.Time(144, 1, octgb.Lonestar4(), -1)
+	fmt.Println(t144.TotalSec < t12.TotalSec)
+	// Output: true
+}

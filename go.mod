@@ -1,0 +1,3 @@
+module octgb
+
+go 1.22

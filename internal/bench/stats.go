@@ -1,0 +1,183 @@
+// Package bench is the benchmark harness that regenerates every table and
+// figure of the paper's evaluation section (see DESIGN.md's per-experiment
+// index). The figure runners live here so that cmd/benchsuite, the root
+// bench_test.go targets and the tests all execute the same code.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Summary is a basic sample statistic bundle.
+type Summary struct {
+	Min, Max, Mean, Std float64
+	N                   int
+}
+
+// Summarize computes min/max/mean/population-std of xs.
+func Summarize(xs []float64) Summary {
+	s := Summary{Min: math.Inf(1), Max: math.Inf(-1), N: len(xs)}
+	if len(xs) == 0 {
+		s.Min, s.Max = 0, 0
+		return s
+	}
+	var sum float64
+	for _, x := range xs {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+		sum += x
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	s.Std = math.Sqrt(ss / float64(len(xs)))
+	return s
+}
+
+// Table is a named result table with aligned-text and CSV rendering.
+type Table struct {
+	Name   string
+	Note   string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends one row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Fmt formats a float compactly for table cells.
+func Fmt(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1e5 || math.Abs(v) < 1e-3:
+		return fmt.Sprintf("%.3e", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}
+
+// Seconds formats a duration in seconds with adaptive precision.
+func Seconds(s float64) string {
+	switch {
+	case s >= 100:
+		return fmt.Sprintf("%.0fs", s)
+	case s >= 1:
+		return fmt.Sprintf("%.2fs", s)
+	case s >= 1e-3:
+		return fmt.Sprintf("%.1fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.1fµs", s*1e6)
+	}
+}
+
+// WriteTo renders the table as aligned text.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "\n== %s ==\n", t.Name)
+	if t.Note != "" {
+		fmt.Fprintf(&b, "%s\n", t.Note)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(c)
+			}
+			b.WriteString(c)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", pad+2))
+			}
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// WriteCSVFile writes the table as <sanitized-name>.csv inside dir
+// (created if missing) and returns the path.
+func (t *Table) WriteCSVFile(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	name := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '_'
+		}
+	}, t.Name)
+	if len(name) > 60 {
+		name = name[:60]
+	}
+	path := filepath.Join(dir, name+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	return path, t.WriteCSV(f)
+}
+
+// WriteCSV renders the table as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return "\"" + strings.ReplaceAll(s, "\"", "\"\"") + "\""
+		}
+		return s
+	}
+	var b strings.Builder
+	cells := make([]string, 0, len(t.Header))
+	for _, h := range t.Header {
+		cells = append(cells, esc(h))
+	}
+	b.WriteString(strings.Join(cells, ",") + "\n")
+	for _, row := range t.Rows {
+		cells = cells[:0]
+		for _, c := range row {
+			cells = append(cells, esc(c))
+		}
+		b.WriteString(strings.Join(cells, ",") + "\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

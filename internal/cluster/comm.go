@@ -1,0 +1,43 @@
+// Package cluster is the distributed-memory substrate of the library — the
+// stand-in for MPI in the paper's algorithms. It defines the small
+// communicator interface the engines need (the collectives of the paper's
+// Fig. 4: Allreduce for partial integrals, Allgather for Born-radius
+// segments, Allreduce for the final energy) and provides two transports:
+//
+//   - an in-process transport (goroutine per rank) used by tests, the
+//     benchmark harness and the virtual-time simulator, and
+//   - a TCP transport (stdlib net) for genuine multi-process runs via
+//     cmd/epolnode.
+//
+// A CollectiveHook observes every completed collective with its payload
+// size; the virtual-time machine model (internal/simtime) uses it to charge
+// the t_s·log P + t_w·m communication costs of the paper's §IV-C analysis.
+package cluster
+
+// Comm is the per-rank communicator handle.
+type Comm interface {
+	// Rank returns this process's rank in [0, Size).
+	Rank() int
+	// Size returns the number of ranks.
+	Size() int
+	// Barrier blocks until all ranks reach it.
+	Barrier() error
+	// AllreduceSum replaces buf on every rank with the element-wise sum
+	// across ranks. All ranks must pass equal-length buffers.
+	AllreduceSum(buf []float64) error
+	// AllreduceMax replaces buf with the element-wise max across ranks.
+	AllreduceMax(buf []float64) error
+	// Allgatherv concatenates every rank's segment (whose lengths are
+	// given by counts, indexed by rank) into out, which must have length
+	// Σ counts. Every rank receives the full concatenation.
+	Allgatherv(segment []float64, counts []int, out []float64) error
+	// Bcast replaces buf on every rank with root's buf.
+	Bcast(buf []float64, root int) error
+}
+
+// CollectiveHook observes completed collectives. kind is one of "barrier",
+// "allreduce", "allgatherv", "bcast"; words is the per-collective payload
+// in float64 words. Called once per collective (not per rank), at the
+// rendezvous point where all ranks are blocked — the natural place to
+// synchronize virtual clocks.
+type CollectiveHook func(kind string, words int)

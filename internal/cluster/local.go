@@ -1,0 +1,176 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+)
+
+// LocalGroup is an in-process communicator group: P ranks running as
+// goroutines in one address space. Collectives rendezvous through a single
+// generation-counted monitor, which is simple, correct for arbitrary
+// collective sequences, and fast enough for the rank counts the paper uses
+// (≤ 144).
+type LocalGroup struct {
+	size int
+	hook CollectiveHook
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	gen     int64
+	arrived int
+	kind    string
+	bufs    []collArg
+	result  []float64
+	mail    map[[2]int]*mailbox // point-to-point mailboxes (p2p.go)
+}
+
+type collArg struct {
+	buf    []float64
+	counts []int
+	out    []float64
+	root   int
+}
+
+// NewLocalGroup creates a group of p ranks. hook may be nil.
+func NewLocalGroup(p int, hook CollectiveHook) *LocalGroup {
+	g := &LocalGroup{size: p, hook: hook, bufs: make([]collArg, p)}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// Comm returns the communicator handle for one rank.
+func (g *LocalGroup) Comm(rank int) Comm {
+	return &localComm{g: g, rank: rank}
+}
+
+// RunLocal runs fn on p in-process ranks and returns the first error.
+func RunLocal(p int, hook CollectiveHook, fn func(c Comm) error) error {
+	g := NewLocalGroup(p, hook)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = fn(g.Comm(r))
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type localComm struct {
+	g    *LocalGroup
+	rank int
+}
+
+func (c *localComm) Rank() int { return c.rank }
+func (c *localComm) Size() int { return c.g.size }
+
+// rendezvous implements the generic "everyone deposits, last one computes,
+// everyone copies out" collective. complete runs exactly once (under the
+// monitor) when the last rank arrives; copyOut runs per rank before it
+// leaves. A rank cannot enter collective k+1 before every rank has left
+// collective k, because arrival counting restarts only after the
+// generation bump and copyOut happens under the same critical section.
+func (c *localComm) rendezvous(kind string, arg collArg, complete func(bufs []collArg) []float64, copyOut func(result []float64, arg collArg)) error {
+	g := c.g
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.arrived > 0 && g.kind != kind {
+		return fmt.Errorf("cluster: rank %d entered %q while group is in %q", c.rank, kind, g.kind)
+	}
+	g.kind = kind
+	myGen := g.gen
+	g.bufs[c.rank] = arg
+	g.arrived++
+	if g.arrived == g.size {
+		g.result = complete(g.bufs)
+		if g.hook != nil {
+			g.hook(kind, len(g.result))
+		}
+		g.arrived = 0
+		g.gen++
+		g.cond.Broadcast()
+	} else {
+		for g.gen == myGen {
+			g.cond.Wait()
+		}
+	}
+	if copyOut != nil {
+		copyOut(g.result, arg)
+	}
+	return nil
+}
+
+func (c *localComm) Barrier() error {
+	return c.rendezvous("barrier", collArg{},
+		func([]collArg) []float64 { return nil }, nil)
+}
+
+func (c *localComm) AllreduceSum(buf []float64) error {
+	return c.rendezvous("allreduce", collArg{buf: buf},
+		func(bufs []collArg) []float64 {
+			res := make([]float64, len(buf))
+			for _, b := range bufs {
+				for i, v := range b.buf {
+					res[i] += v
+				}
+			}
+			return res
+		},
+		func(result []float64, arg collArg) { copy(arg.buf, result) })
+}
+
+func (c *localComm) AllreduceMax(buf []float64) error {
+	return c.rendezvous("allreducemax", collArg{buf: buf},
+		func(bufs []collArg) []float64 {
+			res := append([]float64(nil), bufs[0].buf...)
+			for _, b := range bufs[1:] {
+				for i, v := range b.buf {
+					if v > res[i] {
+						res[i] = v
+					}
+				}
+			}
+			return res
+		},
+		func(result []float64, arg collArg) { copy(arg.buf, result) })
+}
+
+func (c *localComm) Allgatherv(segment []float64, counts []int, out []float64) error {
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != len(out) {
+		return fmt.Errorf("cluster: Allgatherv out length %d != Σcounts %d", len(out), total)
+	}
+	if len(segment) != counts[c.rank] {
+		return fmt.Errorf("cluster: rank %d segment length %d != counts[rank] %d", c.rank, len(segment), counts[c.rank])
+	}
+	return c.rendezvous("allgatherv", collArg{buf: segment, counts: counts, out: out},
+		func(bufs []collArg) []float64 {
+			res := make([]float64, total)
+			at := 0
+			for r := 0; r < len(bufs); r++ {
+				copy(res[at:], bufs[r].buf)
+				at += counts[r]
+			}
+			return res
+		},
+		func(result []float64, arg collArg) { copy(arg.out, result) })
+}
+
+func (c *localComm) Bcast(buf []float64, root int) error {
+	return c.rendezvous("bcast", collArg{buf: buf, root: root},
+		func(bufs []collArg) []float64 {
+			return append([]float64(nil), bufs[root].buf...)
+		},
+		func(result []float64, arg collArg) { copy(arg.buf, result) })
+}

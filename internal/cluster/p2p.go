@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Messenger is the optional point-to-point extension of Comm. The
+// in-process transport implements it; it backs the experimental
+// distributed-data engine (the paper's §VI future work), whose ghost
+// exchange is naturally pairwise rather than collective. Callers type-assert:
+//
+//	if msgr, ok := c.(cluster.Messenger); ok { ... }
+type Messenger interface {
+	// Send delivers a copy of data to rank `to`. Sends to the same
+	// destination are received in order. Send never blocks (mailboxes are
+	// unbounded), which keeps exchange protocols where every rank sends
+	// everything before receiving anything deadlock-free.
+	Send(to int, data []float64) error
+	// Recv blocks until a message from rank `from` arrives.
+	Recv(from int) ([]float64, error)
+}
+
+// mailbox is an unbounded FIFO of messages for one (from, to) pair.
+type mailbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue [][]float64
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(data []float64) {
+	m.mu.Lock()
+	m.queue = append(m.queue, data)
+	m.cond.Signal()
+	m.mu.Unlock()
+}
+
+func (m *mailbox) take() []float64 {
+	m.mu.Lock()
+	for len(m.queue) == 0 {
+		m.cond.Wait()
+	}
+	msg := m.queue[0]
+	m.queue = m.queue[1:]
+	m.mu.Unlock()
+	return msg
+}
+
+// mailboxFor lazily creates the (from, to) mailbox.
+func (g *LocalGroup) mailboxFor(from, to int) *mailbox {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.mail == nil {
+		g.mail = make(map[[2]int]*mailbox)
+	}
+	key := [2]int{from, to}
+	mb, ok := g.mail[key]
+	if !ok {
+		mb = newMailbox()
+		g.mail[key] = mb
+	}
+	return mb
+}
+
+func (c *localComm) Send(to int, data []float64) error {
+	if to < 0 || to >= c.g.size {
+		return fmt.Errorf("cluster: send to invalid rank %d", to)
+	}
+	c.g.mailboxFor(c.rank, to).put(append([]float64(nil), data...))
+	return nil
+}
+
+func (c *localComm) Recv(from int) ([]float64, error) {
+	if from < 0 || from >= c.g.size {
+		return nil, fmt.Errorf("cluster: recv from invalid rank %d", from)
+	}
+	return c.g.mailboxFor(from, c.rank).take(), nil
+}

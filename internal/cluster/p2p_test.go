@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestP2PBasicExchange(t *testing.T) {
+	err := RunLocal(4, nil, func(c Comm) error {
+		m := c.(Messenger)
+		// Ring: send to (rank+1)%4, receive from (rank+3)%4.
+		if err := m.Send((c.Rank()+1)%4, []float64{float64(c.Rank()), 42}); err != nil {
+			return err
+		}
+		got, err := m.Recv((c.Rank() + 3) % 4)
+		if err != nil {
+			return err
+		}
+		if got[0] != float64((c.Rank()+3)%4) || got[1] != 42 {
+			return fmt.Errorf("rank %d got %v", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestP2POrderingPreserved(t *testing.T) {
+	err := RunLocal(2, nil, func(c Comm) error {
+		m := c.(Messenger)
+		if c.Rank() == 0 {
+			for i := 0; i < 200; i++ {
+				if err := m.Send(1, []float64{float64(i)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < 200; i++ {
+			got, err := m.Recv(0)
+			if err != nil {
+				return err
+			}
+			if got[0] != float64(i) {
+				return fmt.Errorf("message %d out of order: %v", i, got[0])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestP2PAllSendBeforeAnyRecvNoDeadlock(t *testing.T) {
+	// The exchange pattern of the distributed-data engine: every rank
+	// sends everything to everyone, then receives. Unbounded mailboxes
+	// must make this deadlock-free even with many messages per pair.
+	const P, msgs = 3, 500
+	err := RunLocal(P, nil, func(c Comm) error {
+		m := c.(Messenger)
+		for to := 0; to < P; to++ {
+			if to == c.Rank() {
+				continue
+			}
+			for i := 0; i < msgs; i++ {
+				if err := m.Send(to, []float64{float64(i)}); err != nil {
+					return err
+				}
+			}
+		}
+		for from := 0; from < P; from++ {
+			if from == c.Rank() {
+				continue
+			}
+			for i := 0; i < msgs; i++ {
+				got, err := m.Recv(from)
+				if err != nil {
+					return err
+				}
+				if got[0] != float64(i) {
+					return fmt.Errorf("from %d msg %d: %v", from, i, got[0])
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestP2PSendCopiesData(t *testing.T) {
+	err := RunLocal(2, nil, func(c Comm) error {
+		m := c.(Messenger)
+		if c.Rank() == 0 {
+			buf := []float64{1}
+			if err := m.Send(1, buf); err != nil {
+				return err
+			}
+			buf[0] = 999 // mutate after send: receiver must see 1
+			return nil
+		}
+		got, err := m.Recv(0)
+		if err != nil {
+			return err
+		}
+		if got[0] != 1 {
+			return fmt.Errorf("send aliased caller buffer: %v", got[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestP2PInvalidRanks(t *testing.T) {
+	err := RunLocal(2, nil, func(c Comm) error {
+		m := c.(Messenger)
+		if err := m.Send(5, nil); err == nil {
+			return fmt.Errorf("send to invalid rank accepted")
+		}
+		if _, err := m.Recv(-1); err == nil {
+			return fmt.Errorf("recv from invalid rank accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

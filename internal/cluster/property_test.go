@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// Property: AllreduceSum over random rank contributions equals the serial
+// sum on every rank, for arbitrary rank counts and vector lengths.
+func TestPropertyAllreduceSum(t *testing.T) {
+	f := func(p, n int, seed int64) bool {
+		p = 1 + p%8
+		if p < 1 {
+			p = -p + 1
+		}
+		n = n % 200
+		if n < 0 {
+			n = -n
+		}
+		r := rand.New(rand.NewSource(seed))
+		data := make([][]float64, p)
+		want := make([]float64, n)
+		for rk := range data {
+			data[rk] = make([]float64, n)
+			for i := range data[rk] {
+				data[rk][i] = r.NormFloat64()
+				want[i] += data[rk][i]
+			}
+		}
+		ok := true
+		err := RunLocal(p, nil, func(c Comm) error {
+			buf := append([]float64(nil), data[c.Rank()]...)
+			if err := c.AllreduceSum(buf); err != nil {
+				return err
+			}
+			for i := range buf {
+				if math.Abs(buf[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+					ok = false
+				}
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Allgatherv reconstructs the concatenation for random segment
+// length splits.
+func TestPropertyAllgatherv(t *testing.T) {
+	f := func(p int, seed int64) bool {
+		p = 1 + abs(p)%6
+		r := rand.New(rand.NewSource(seed))
+		counts := make([]int, p)
+		total := 0
+		for i := range counts {
+			counts[i] = r.Intn(30)
+			total += counts[i]
+		}
+		want := make([]float64, total)
+		for i := range want {
+			want[i] = float64(i) * 1.5
+		}
+		offsets := make([]int, p)
+		at := 0
+		for i := range counts {
+			offsets[i] = at
+			at += counts[i]
+		}
+		ok := true
+		err := RunLocal(p, nil, func(c Comm) error {
+			seg := want[offsets[c.Rank()] : offsets[c.Rank()]+counts[c.Rank()]]
+			out := make([]float64, total)
+			if err := c.Allgatherv(append([]float64(nil), seg...), counts, out); err != nil {
+				return err
+			}
+			for i := range out {
+				if out[i] != want[i] {
+					ok = false
+				}
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(8))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Property: AllreduceMax is idempotent — applying it twice gives the same
+// result as once.
+func TestPropertyAllreduceMaxIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := 2 + r.Intn(5)
+		n := 1 + r.Intn(50)
+		base := make([][]float64, p)
+		for rk := range base {
+			base[rk] = make([]float64, n)
+			for i := range base[rk] {
+				base[rk][i] = r.NormFloat64() * 10
+			}
+		}
+		var first [][]float64
+		run := func() [][]float64 {
+			out := make([][]float64, p)
+			err := RunLocal(p, nil, func(c Comm) error {
+				buf := append([]float64(nil), base[c.Rank()]...)
+				if err := c.AllreduceMax(buf); err != nil {
+					return err
+				}
+				if err := c.AllreduceMax(buf); err != nil { // second application
+					return err
+				}
+				out[c.Rank()] = buf
+				return nil
+			})
+			if err != nil {
+				return nil
+			}
+			return out
+		}
+		first = run()
+		if first == nil {
+			return false
+		}
+		// All ranks equal, and equal to the element-wise max.
+		for i := 0; i < n; i++ {
+			max := math.Inf(-1)
+			for rk := range base {
+				if base[rk][i] > max {
+					max = base[rk][i]
+				}
+			}
+			for rk := range first {
+				if first[rk][i] != max {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 25,
+		Rand:     rand.New(rand.NewSource(9)),
+		Values: func(v []reflect.Value, r *rand.Rand) {
+			v[0] = reflect.ValueOf(r.Int63())
+		},
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

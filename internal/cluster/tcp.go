@@ -1,0 +1,316 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+)
+
+func floatBits(v float64) uint64     { return math.Float64bits(v) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }
+
+// The TCP transport runs each rank in its own OS process. Rank 0 is the
+// root of a star: workers send their collective contributions to the root,
+// the root combines them and sends the result back. This is O(P·m) at the
+// root rather than the O(log P) tree of a real MPI, but it is simple,
+// correct, and uses only the standard library; the virtual-time simulator
+// (not this transport) is what models the paper's collective costs.
+
+const tcpMagic = 0x0C7B
+
+// kind codes on the wire.
+const (
+	opBarrier = iota + 1
+	opAllreduceSum
+	opAllreduceMax
+	opAllgatherv
+	opBcast
+)
+
+// NewTCPRoot accepts size−1 worker connections on ln and returns rank 0's
+// communicator. It blocks until all workers have joined.
+func NewTCPRoot(ln net.Listener, size int) (Comm, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("cluster: size %d < 1", size)
+	}
+	c := &tcpRoot{size: size, conns: make([]*rankConn, size)}
+	for joined := 1; joined < size; joined++ {
+		conn, err := ln.Accept()
+		if err != nil {
+			return nil, err
+		}
+		rc := newRankConn(conn)
+		var hello [8]byte
+		if _, err := io.ReadFull(rc.r, hello[:]); err != nil {
+			return nil, fmt.Errorf("cluster: reading hello: %w", err)
+		}
+		if binary.LittleEndian.Uint32(hello[:4]) != tcpMagic {
+			return nil, fmt.Errorf("cluster: bad magic from worker")
+		}
+		rank := int(binary.LittleEndian.Uint32(hello[4:]))
+		if rank <= 0 || rank >= size || c.conns[rank] != nil {
+			return nil, fmt.Errorf("cluster: bad or duplicate worker rank %d", rank)
+		}
+		c.conns[rank] = rc
+	}
+	return c, nil
+}
+
+// DialTCP connects worker `rank` (1 ≤ rank < size) to the root at addr.
+func DialTCP(addr string, rank, size int) (Comm, error) {
+	if rank <= 0 || rank >= size {
+		return nil, fmt.Errorf("cluster: worker rank %d out of range (1..%d)", rank, size-1)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	rc := newRankConn(conn)
+	var hello [8]byte
+	binary.LittleEndian.PutUint32(hello[:4], tcpMagic)
+	binary.LittleEndian.PutUint32(hello[4:], uint32(rank))
+	if _, err := rc.w.Write(hello[:]); err != nil {
+		return nil, err
+	}
+	if err := rc.w.Flush(); err != nil {
+		return nil, err
+	}
+	return &tcpWorker{rank: rank, size: size, conn: rc}, nil
+}
+
+type rankConn struct {
+	c net.Conn
+	r *bufio.Reader
+	w *bufio.Writer
+}
+
+func newRankConn(c net.Conn) *rankConn {
+	return &rankConn{c: c, r: bufio.NewReaderSize(c, 1<<16), w: bufio.NewWriterSize(c, 1<<16)}
+}
+
+// writeMsg frames: op byte, aux uint32, n uint32, n float64 payload.
+func (rc *rankConn) writeMsg(op byte, aux uint32, payload []float64) error {
+	var hdr [9]byte
+	hdr[0] = op
+	binary.LittleEndian.PutUint32(hdr[1:5], aux)
+	binary.LittleEndian.PutUint32(hdr[5:9], uint32(len(payload)))
+	if _, err := rc.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	var b [8]byte
+	for _, v := range payload {
+		binary.LittleEndian.PutUint64(b[:], floatBits(v))
+		if _, err := rc.w.Write(b[:]); err != nil {
+			return err
+		}
+	}
+	return rc.w.Flush()
+}
+
+func (rc *rankConn) readMsg(wantOp byte) (aux uint32, payload []float64, err error) {
+	var hdr [9]byte
+	if _, err = io.ReadFull(rc.r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	if hdr[0] != wantOp {
+		return 0, nil, fmt.Errorf("cluster: expected op %d, got %d", wantOp, hdr[0])
+	}
+	aux = binary.LittleEndian.Uint32(hdr[1:5])
+	n := binary.LittleEndian.Uint32(hdr[5:9])
+	payload = make([]float64, n)
+	var b [8]byte
+	for i := range payload {
+		if _, err = io.ReadFull(rc.r, b[:]); err != nil {
+			return 0, nil, err
+		}
+		payload[i] = floatFromBits(binary.LittleEndian.Uint64(b[:]))
+	}
+	return aux, payload, nil
+}
+
+// tcpRoot is rank 0.
+type tcpRoot struct {
+	size  int
+	conns []*rankConn // index by rank; [0] nil
+	mu    sync.Mutex
+}
+
+func (c *tcpRoot) Rank() int { return 0 }
+func (c *tcpRoot) Size() int { return c.size }
+
+// collect gathers every worker's payload for op, combines (with the root's
+// own contribution) and sends the per-rank results back. combine receives
+// payloads indexed by rank (root's own in slot 0) and returns the result
+// for each rank (often the same slice for all).
+func (c *tcpRoot) collect(op byte, own []float64, combine func(bufs [][]float64) [][]float64) ([]float64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	bufs := make([][]float64, c.size)
+	bufs[0] = own
+	for r := 1; r < c.size; r++ {
+		_, p, err := c.conns[r].readMsg(op)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: root reading rank %d: %w", r, err)
+		}
+		bufs[r] = p
+	}
+	results := combine(bufs)
+	for r := 1; r < c.size; r++ {
+		if err := c.conns[r].writeMsg(op, 0, results[r]); err != nil {
+			return nil, fmt.Errorf("cluster: root replying to rank %d: %w", r, err)
+		}
+	}
+	return results[0], nil
+}
+
+func sameForAll(size int, res []float64) [][]float64 {
+	out := make([][]float64, size)
+	for i := range out {
+		out[i] = res
+	}
+	return out
+}
+
+func (c *tcpRoot) Barrier() error {
+	_, err := c.collect(opBarrier, nil, func(bufs [][]float64) [][]float64 {
+		return sameForAll(c.size, nil)
+	})
+	return err
+}
+
+func (c *tcpRoot) AllreduceSum(buf []float64) error {
+	res, err := c.collect(opAllreduceSum, buf, func(bufs [][]float64) [][]float64 {
+		out := make([]float64, len(buf))
+		for _, b := range bufs {
+			for i, v := range b {
+				out[i] += v
+			}
+		}
+		return sameForAll(c.size, out)
+	})
+	if err != nil {
+		return err
+	}
+	copy(buf, res)
+	return nil
+}
+
+func (c *tcpRoot) AllreduceMax(buf []float64) error {
+	res, err := c.collect(opAllreduceMax, buf, func(bufs [][]float64) [][]float64 {
+		out := append([]float64(nil), bufs[0]...)
+		for _, b := range bufs[1:] {
+			for i, v := range b {
+				if v > out[i] {
+					out[i] = v
+				}
+			}
+		}
+		return sameForAll(c.size, out)
+	})
+	if err != nil {
+		return err
+	}
+	copy(buf, res)
+	return nil
+}
+
+func (c *tcpRoot) Allgatherv(segment []float64, counts []int, out []float64) error {
+	res, err := c.collect(opAllgatherv, segment, func(bufs [][]float64) [][]float64 {
+		total := 0
+		for _, n := range counts {
+			total += n
+		}
+		cat := make([]float64, 0, total)
+		for r := 0; r < c.size; r++ {
+			cat = append(cat, bufs[r]...)
+		}
+		return sameForAll(c.size, cat)
+	})
+	if err != nil {
+		return err
+	}
+	if len(res) != len(out) {
+		return fmt.Errorf("cluster: Allgatherv length mismatch: %d vs %d", len(res), len(out))
+	}
+	copy(out, res)
+	return nil
+}
+
+func (c *tcpRoot) Bcast(buf []float64, root int) error {
+	res, err := c.collect(opBcast, buf, func(bufs [][]float64) [][]float64 {
+		return sameForAll(c.size, append([]float64(nil), bufs[root]...))
+	})
+	if err != nil {
+		return err
+	}
+	copy(buf, res)
+	return nil
+}
+
+// tcpWorker is a rank ≥ 1.
+type tcpWorker struct {
+	rank, size int
+	conn       *rankConn
+	mu         sync.Mutex
+}
+
+func (c *tcpWorker) Rank() int { return c.rank }
+func (c *tcpWorker) Size() int { return c.size }
+
+func (c *tcpWorker) roundTrip(op byte, payload []float64) ([]float64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.conn.writeMsg(op, 0, payload); err != nil {
+		return nil, err
+	}
+	_, res, err := c.conn.readMsg(op)
+	return res, err
+}
+
+func (c *tcpWorker) Barrier() error {
+	_, err := c.roundTrip(opBarrier, nil)
+	return err
+}
+
+func (c *tcpWorker) AllreduceSum(buf []float64) error {
+	res, err := c.roundTrip(opAllreduceSum, buf)
+	if err != nil {
+		return err
+	}
+	copy(buf, res)
+	return nil
+}
+
+func (c *tcpWorker) AllreduceMax(buf []float64) error {
+	res, err := c.roundTrip(opAllreduceMax, buf)
+	if err != nil {
+		return err
+	}
+	copy(buf, res)
+	return nil
+}
+
+func (c *tcpWorker) Allgatherv(segment []float64, counts []int, out []float64) error {
+	res, err := c.roundTrip(opAllgatherv, segment)
+	if err != nil {
+		return err
+	}
+	if len(res) != len(out) {
+		return fmt.Errorf("cluster: Allgatherv length mismatch: %d vs %d", len(res), len(out))
+	}
+	copy(out, res)
+	return nil
+}
+
+func (c *tcpWorker) Bcast(buf []float64, root int) error {
+	res, err := c.roundTrip(opBcast, buf)
+	if err != nil {
+		return err
+	}
+	copy(buf, res)
+	return nil
+}

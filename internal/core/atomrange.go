@@ -1,0 +1,167 @@
+package core
+
+import (
+	"octgb/internal/gb"
+	"octgb/internal/octree"
+)
+
+// This file implements the ATOM-BASED-WORK-DIVISION variants (§IV-A): each
+// rank owns a contiguous range of atoms (in tree order) rather than a range
+// of leaves. A far-field acceptance can only be collected at a tree node
+// when that node lies entirely inside the rank's atom range; nodes
+// straddling a range boundary must fall back to per-atom approximation.
+// Because different P produce different boundaries, the places where
+// approximations are collected — and therefore the error — change with the
+// number of processes, which is exactly the instability the paper reports
+// for atom-based division (and the reason node-based division is preferred).
+
+// AccumulateQLeafAtomRange is AccumulateQLeaf restricted to atoms with
+// tree-order index in [lo, hi).
+func (s *BornSolver) AccumulateQLeafAtomRange(qLeaf int, lo, hi int32, sNode, sAtom []float64) Stats {
+	var st Stats
+	qn := s.TQ.LeafIdx[qLeaf]
+	s.approxIntegralsRange(0, qn, lo, hi, sNode, sAtom, &st)
+	return st
+}
+
+func (s *BornSolver) approxIntegralsRange(a, q, lo, hi int32, sNode, sAtom []float64, st *Stats) {
+	an := &s.TA.Nodes[a]
+	if an.Start+an.Count <= lo || an.Start >= hi {
+		return // disjoint from this rank's atoms
+	}
+	st.NodesVisited++
+	qn := &s.TQ.Nodes[q]
+	d := an.Center.Dist(qn.Center)
+	if wellSeparated(d, an.Radius, qn.Radius, s.sepC) {
+		if an.Start >= lo && an.Start+an.Count <= hi {
+			// Node fully owned: collect at the node as usual.
+			diff := qn.Center.Sub(an.Center)
+			d2 := d * d
+			sNode[a] += s.nodeWN[q].Dot(diff) * s.kernel(d2)
+			st.FarEval++
+			return
+		}
+		// Straddling node: approximate per owned atom against the
+		// pseudo q-point. The approximation point differs from the node
+		// center, so the result (and error) depends on the boundary.
+		from, to := clampRange(an.Start, an.Start+an.Count, lo, hi)
+		for i := from; i < to; i++ {
+			dv := qn.Center.Sub(s.TA.Points[i])
+			d2 := dv.Norm2()
+			sAtom[i] += s.nodeWN[q].Dot(dv) * s.kernel(d2)
+			st.FarEval++
+		}
+		return
+	}
+	if an.Leaf {
+		from, to := clampRange(an.Start, an.Start+an.Count, lo, hi)
+		qlo, qhi := s.TQ.PointRange(q)
+		for i := from; i < to; i++ {
+			p := s.TA.Points[i]
+			var acc float64
+			for j := qlo; j < qhi; j++ {
+				dv := s.TQ.Points[j].Sub(p)
+				d2 := dv.Norm2()
+				if d2 < 1e-12 {
+					continue
+				}
+				acc += s.wn[j].Dot(dv) * s.kernel(d2)
+			}
+			sAtom[i] += acc
+		}
+		st.NearPairs += int64(to-from) * int64(qhi-qlo)
+		return
+	}
+	for _, ch := range an.Children {
+		if ch != octree.NoChild {
+			s.approxIntegralsRange(ch, q, lo, hi, sNode, sAtom, st)
+		}
+	}
+}
+
+func clampRange(start, end, lo, hi int32) (int32, int32) {
+	if start < lo {
+		start = lo
+	}
+	if end > hi {
+		end = hi
+	}
+	return start, end
+}
+
+// LeafEnergyRows is LeafEnergy with the leaf-side (row) atoms restricted to
+// tree-order range [lo, hi): the rank owns atom rows rather than whole
+// leaves. The far-field term is linear in the row charges, so summing the
+// row-restricted results over all ranks reproduces the full sum; only the
+// work distribution changes.
+func (s *EpolSolver) LeafEnergyRows(vLeaf int, lo, hi int32) (float64, Stats) {
+	var st Stats
+	v := s.T.LeafIdx[vLeaf]
+	vn := &s.T.Nodes[v]
+	from, to := clampRange(vn.Start, vn.Start+vn.Count, lo, hi)
+	if from >= to {
+		return 0, st
+	}
+	e := s.epolVisitRows(0, v, from, to, &st)
+	return e, st
+}
+
+func (s *EpolSolver) epolVisitRows(u, v int32, from, to int32, st *Stats) float64 {
+	st.NodesVisited++
+	un := &s.T.Nodes[u]
+	vn := &s.T.Nodes[v]
+	if un.Leaf {
+		ulo, uhi := s.T.PointRange(u)
+		var sum float64
+		for i := ulo; i < uhi; i++ {
+			pi, qi, ri := s.T.Points[i], s.q[i], s.R[i]
+			for j := from; j < to; j++ {
+				if i == j {
+					sum += qi * qi / ri
+					continue
+				}
+				sum += gb.PairTerm(qi, s.q[j], pi.Dist2(s.T.Points[j]), ri, s.R[j], s.cfg.Math)
+			}
+		}
+		st.NearPairs += int64(uhi-ulo) * int64(to-from)
+		return sum
+	}
+	d := un.Center.Dist(vn.Center)
+	if d > (un.Radius+vn.Radius)*s.sep {
+		return s.binApproxRows(u, v, d*d, from, to, st)
+	}
+	var sum float64
+	for _, ch := range un.Children {
+		if ch != octree.NoChild {
+			sum += s.epolVisitRows(ch, v, from, to, st)
+		}
+	}
+	return sum
+}
+
+// binApproxRows is binApprox with the V-side bins built from only the
+// owned rows of the leaf.
+func (s *EpolSolver) binApproxRows(u, v int32, d2 float64, from, to int32, st *Stats) float64 {
+	// Build the partial V bins on the stack (M is small).
+	vb := make([]float64, s.M)
+	for j := from; j < to; j++ {
+		vb[s.binIndex(j)] += s.q[j]
+	}
+	ub := s.bins[int(u)*s.M : (int(u)+1)*s.M]
+	var sum float64
+	for i := 0; i < s.M; i++ {
+		qi := ub[i]
+		if qi == 0 {
+			continue
+		}
+		for j := 0; j < s.M; j++ {
+			qj := vb[j]
+			if qj == 0 {
+				continue
+			}
+			sum += s.binPairTerm(d2, i+j, qi, qj)
+			st.FarEval++
+		}
+	}
+	return sum
+}

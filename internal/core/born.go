@@ -1,0 +1,354 @@
+// Package core implements the paper's primary contribution: the
+// octree-based Greengard–Rokhlin-type near–far treecode for the surface r⁶
+// approximation of Born radii (APPROX-INTEGRALS and
+// PUSH-INTEGRALS-TO-ATOMS, Fig. 2 of the paper) and for the GB polarization
+// energy with Born-radius charge binning (APPROX-EPOL, Fig. 3).
+//
+// Two traversal variants are provided, matching the paper's §IV: the
+// single-tree form used by the distributed engines (only the atoms octree
+// is traversed; q-point leaves drive the traversal) and the dual-tree form
+// of the earlier shared-memory algorithm [6] used by OCT_CILK.
+//
+// All entry points are reentrant: accumulators are supplied by the caller,
+// so parallel engines give each worker private accumulators and reduce —
+// which is exactly the structure MPI_Allreduce imposes in the paper.
+package core
+
+import (
+	"math"
+
+	"octgb/internal/gb"
+	"octgb/internal/geom"
+	"octgb/internal/molecule"
+	"octgb/internal/octree"
+	"octgb/internal/surface"
+)
+
+// Stats counts the work a traversal performed; the deterministic counters
+// feed the virtual-time machine model and the complexity tests.
+type Stats struct {
+	FarEval      int64 // far-field (approximated) cell interactions
+	NearPairs    int64 // exact point-point interactions
+	NodesVisited int64 // recursion steps
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.FarEval += other.FarEval
+	s.NearPairs += other.NearPairs
+	s.NodesVisited += other.NodesVisited
+}
+
+// BornConfig controls the Born-radius treecode.
+type BornConfig struct {
+	// Eps is the approximation parameter ε (>0). Larger ε approximates
+	// more aggressively: faster, less accurate. The paper's experiments
+	// use 0.9.
+	Eps float64
+	// Exponent selects the Born-radius integrand: 6 (default) is the
+	// surface r⁶ approximation of Eq. 4 (more accurate for globular
+	// solutes, the paper's choice); 4 is the classical Coulomb-field r⁴
+	// approximation of Eq. 3.
+	Exponent int
+	// CriterionPower selects the well-separatedness criterion. The
+	// acceptance test is (r_AQ + r_A + r_Q)/(r_AQ − r_A − r_Q) ≤
+	// (1+ε)^(1/CriterionPower).
+	//
+	// Power 1 (default) bounds the distance ratio by (1+ε) — the same
+	// geometry as the paper's APPROX-EPOL criterion r_UV > (r_U+r_V)(1+2/ε)
+	// — and reproduces the paper's reported speed/error operating points.
+	// Power 6 is the criterion as printed in the poster's prose, which
+	// bounds the worst-case ratio of the d⁻⁶ integrand itself; it is so
+	// conservative that at ZDock scales it accepts well under 1 % of the
+	// cell pairs (making the "treecode" essentially the naïve algorithm),
+	// contradicting the poster's own reported speedups — see DESIGN.md.
+	CriterionPower int
+	// LeafSize is the octree leaf capacity (≤0 → octree.DefaultLeafSize).
+	LeafSize int
+}
+
+func (c BornConfig) withDefaults() BornConfig {
+	if c.Eps <= 0 {
+		c.Eps = 0.9
+	}
+	if c.CriterionPower <= 0 {
+		c.CriterionPower = 1
+	}
+	if c.Exponent != 4 {
+		c.Exponent = 6
+	}
+	return c
+}
+
+// sepRatio returns the minimum allowed (r_AQ + r)/(r_AQ − r) threshold
+// c = (1+ε)^(1/p); cells are well separated when the actual ratio is ≤ c.
+func sepRatio(eps float64, power int) float64 {
+	return math.Pow(1+eps, 1/float64(power))
+}
+
+// wellSeparated implements the near–far test for two enclosing balls with
+// center distance d and radii ra, rq, with threshold c = (1+ε)^(1/p).
+func wellSeparated(d, ra, rq, c float64) bool {
+	r := ra + rq
+	return d-r > 0 && d+r <= c*(d-r)
+}
+
+// BornSolver holds the immutable state of the Born-radius treecode: the
+// atoms octree T_A, the q-points octree T_Q, per-point payloads in tree
+// order, and per-node aggregates.
+type BornSolver struct {
+	TA *octree.Tree // atoms octree
+	TQ *octree.Tree // quadrature-points octree
+
+	cfg    BornConfig
+	sepC   float64     // separation threshold (1+ε)^(1/p)
+	r4     bool        // Coulomb-field r⁴ integrand instead of r⁶
+	atomR  []float64   // vdW radii, T_A tree order
+	wn     []geom.Vec3 // w_q·n_q per q-point, T_Q tree order
+	nodeWN []geom.Vec3 // Σ w_q·n_q per T_Q node (the paper's ñ_Q)
+	rcap   float64     // Born-radius cap (molecule diameter)
+}
+
+// kernel evaluates the configured integrand's denominator given the
+// squared distance: 1/d⁶ for the r⁶ form, 1/d⁴ for the Coulomb-field form.
+func (s *BornSolver) kernel(d2 float64) float64 {
+	if s.r4 {
+		return 1 / (d2 * d2)
+	}
+	return 1 / (d2 * d2 * d2)
+}
+
+// NewBornSolver builds both octrees and all aggregates. The molecule and
+// q-point slices are not retained.
+func NewBornSolver(mol *molecule.Molecule, qpts []surface.QPoint, cfg BornConfig) *BornSolver {
+	cfg = cfg.withDefaults()
+	s := &BornSolver{cfg: cfg, sepC: sepRatio(cfg.Eps, cfg.CriterionPower), r4: cfg.Exponent == 4}
+
+	apos := make([]geom.Vec3, mol.N())
+	for i := range mol.Atoms {
+		apos[i] = mol.Atoms[i].Pos
+	}
+	s.TA = octree.Build(apos, cfg.LeafSize)
+	s.atomR = make([]float64, mol.N())
+	for i, orig := range s.TA.Perm {
+		s.atomR[i] = mol.Atoms[orig].Radius
+	}
+
+	s.TQ = octree.Build(surface.Positions(qpts), cfg.LeafSize)
+	s.wn = make([]geom.Vec3, len(qpts))
+	for i, orig := range s.TQ.Perm {
+		q := qpts[orig]
+		s.wn[i] = q.Normal.Scale(q.Weight)
+	}
+	s.nodeWN = make([]geom.Vec3, len(s.TQ.Nodes))
+	for n := range s.TQ.Nodes {
+		nd := &s.TQ.Nodes[n]
+		var sum geom.Vec3
+		for i := nd.Start; i < nd.Start+nd.Count; i++ {
+			sum = sum.Add(s.wn[i])
+		}
+		s.nodeWN[n] = sum
+	}
+
+	b := mol.Bounds()
+	if b.IsEmpty() {
+		s.rcap = 10
+	} else {
+		s.rcap = math.Max(10, 2*b.HalfDiagonal())
+	}
+	return s
+}
+
+// Eps returns the configured approximation parameter.
+func (s *BornSolver) Eps() float64 { return s.cfg.Eps }
+
+// NumAtoms returns the number of atoms.
+func (s *BornSolver) NumAtoms() int { return len(s.atomR) }
+
+// NumQLeaves returns the number of leaves of the q-point octree — the unit
+// of node-based work division for the Born phase (paper Fig. 4, step 2).
+func (s *BornSolver) NumQLeaves() int { return s.TQ.NumLeaves() }
+
+// NewAccumulators allocates a zeroed (s_A per T_A node, s_a per atom) pair.
+func (s *BornSolver) NewAccumulators() (sNode, sAtom []float64) {
+	return make([]float64, len(s.TA.Nodes)), make([]float64, len(s.atomR))
+}
+
+// AccumulateQLeaf runs APPROX-INTEGRALS(root(T_A), Q) for the q-leaf with
+// index qLeaf (0..NumQLeaves-1), adding approximated sums into sNode
+// (indexed by T_A node) and exact sums into sAtom (T_A tree order). It
+// returns the work counters. This is the single-tree variant used by the
+// distributed engines: only the atoms octree is traversed.
+func (s *BornSolver) AccumulateQLeaf(qLeaf int, sNode, sAtom []float64) Stats {
+	var st Stats
+	qn := s.TQ.LeafIdx[qLeaf]
+	s.approxIntegrals(0, qn, sNode, sAtom, &st)
+	return st
+}
+
+// approxIntegrals is the recursion of Fig. 2: a from T_A, q a leaf of T_Q.
+func (s *BornSolver) approxIntegrals(a, q int32, sNode, sAtom []float64, st *Stats) {
+	st.NodesVisited++
+	an := &s.TA.Nodes[a]
+	qn := &s.TQ.Nodes[q]
+	d := an.Center.Dist(qn.Center)
+	if wellSeparated(d, an.Radius, qn.Radius, s.sepC) {
+		// Far enough: one pseudo q-point at Q's center against one pseudo
+		// atom at A's center. s_A += ñ_Q·(c_Q − c_A) / r_AQ⁶.
+		diff := qn.Center.Sub(an.Center)
+		d2 := d * d
+		sNode[a] += s.nodeWN[q].Dot(diff) * s.kernel(d2)
+		st.FarEval++
+		return
+	}
+	if an.Leaf {
+		// Too close to approximate: exact contributions of every q-point
+		// under Q to every atom under A.
+		qlo, qhi := s.TQ.PointRange(q)
+		alo, ahi := s.TA.PointRange(a)
+		for i := alo; i < ahi; i++ {
+			p := s.TA.Points[i]
+			var acc float64
+			for j := qlo; j < qhi; j++ {
+				dv := s.TQ.Points[j].Sub(p)
+				d2 := dv.Norm2()
+				if d2 < 1e-12 {
+					continue // q-point coincides with the atom center
+				}
+				acc += s.wn[j].Dot(dv) * s.kernel(d2)
+			}
+			sAtom[i] += acc
+		}
+		st.NearPairs += int64(ahi-alo) * int64(qhi-qlo)
+		return
+	}
+	for _, ch := range an.Children {
+		if ch != octree.NoChild {
+			s.approxIntegrals(ch, q, sNode, sAtom, st)
+		}
+	}
+}
+
+// AccumulateDual runs the dual-tree variant of APPROX-INTEGRALS from [6]
+// (used by OCT_CILK): both octrees are traversed simultaneously starting at
+// their roots. Accumulators have the same meaning as in AccumulateQLeaf.
+func (s *BornSolver) AccumulateDual(sNode, sAtom []float64) Stats {
+	var st Stats
+	if len(s.TA.Nodes) == 0 || len(s.TQ.Nodes) == 0 {
+		return st
+	}
+	s.approxIntegralsDual(0, 0, sNode, sAtom, &st)
+	return st
+}
+
+func (s *BornSolver) approxIntegralsDual(a, q int32, sNode, sAtom []float64, st *Stats) {
+	st.NodesVisited++
+	an := &s.TA.Nodes[a]
+	qn := &s.TQ.Nodes[q]
+	d := an.Center.Dist(qn.Center)
+	if wellSeparated(d, an.Radius, qn.Radius, s.sepC) {
+		diff := qn.Center.Sub(an.Center)
+		d2 := d * d
+		sNode[a] += s.nodeWN[q].Dot(diff) * s.kernel(d2)
+		st.FarEval++
+		return
+	}
+	switch {
+	case an.Leaf && qn.Leaf:
+		qlo, qhi := s.TQ.PointRange(q)
+		alo, ahi := s.TA.PointRange(a)
+		for i := alo; i < ahi; i++ {
+			p := s.TA.Points[i]
+			var acc float64
+			for j := qlo; j < qhi; j++ {
+				dv := s.TQ.Points[j].Sub(p)
+				d2 := dv.Norm2()
+				if d2 < 1e-12 {
+					continue
+				}
+				acc += s.wn[j].Dot(dv) * s.kernel(d2)
+			}
+			sAtom[i] += acc
+		}
+		st.NearPairs += int64(ahi-alo) * int64(qhi-qlo)
+	case qn.Leaf || (!an.Leaf && an.Radius >= qn.Radius):
+		// Split the atoms node.
+		for _, ch := range an.Children {
+			if ch != octree.NoChild {
+				s.approxIntegralsDual(ch, q, sNode, sAtom, st)
+			}
+		}
+	default:
+		// Split the q node.
+		for _, ch := range qn.Children {
+			if ch != octree.NoChild {
+				s.approxIntegralsDual(a, ch, sNode, sAtom, st)
+			}
+		}
+	}
+}
+
+// PushIntegrals implements PUSH-INTEGRALS-TO-ATOMS: it pushes ancestor
+// sums down T_A and converts accumulated integrals into Born radii for the
+// atoms whose tree-order index lies in [lo, hi) — the per-process atom
+// segment of Fig. 4 step 4. R is written in tree order (callers use
+// RadiiToOriginal for the original order). Subtrees disjoint from [lo, hi)
+// are pruned, which is how each process traverses only its part of the
+// tree; the number of nodes actually visited is returned for the time
+// model.
+func (s *BornSolver) PushIntegrals(sNode, sAtom []float64, lo, hi int32, R []float64) int64 {
+	if len(s.TA.Nodes) == 0 {
+		return 0
+	}
+	return s.pushDown(0, 0, sNode, sAtom, lo, hi, R)
+}
+
+func (s *BornSolver) pushDown(n int32, anc float64, sNode, sAtom []float64, lo, hi int32, R []float64) int64 {
+	nd := &s.TA.Nodes[n]
+	if nd.Start+nd.Count <= lo || nd.Start >= hi {
+		return 0
+	}
+	visited := int64(1)
+	total := anc + sNode[n]
+	if nd.Leaf {
+		from, to := nd.Start, nd.Start+nd.Count
+		if from < lo {
+			from = lo
+		}
+		if to > hi {
+			to = hi
+		}
+		for i := from; i < to; i++ {
+			if s.r4 {
+				R[i] = gb.BornFromIntegralR4(sAtom[i]+total, s.atomR[i], s.rcap)
+			} else {
+				R[i] = gb.BornFromIntegral(sAtom[i]+total, s.atomR[i], s.rcap)
+			}
+		}
+		return visited
+	}
+	for _, ch := range nd.Children {
+		if ch != octree.NoChild {
+			visited += s.pushDown(ch, total, sNode, sAtom, lo, hi, R)
+		}
+	}
+	return visited
+}
+
+// RadiiToOriginal converts tree-order Born radii to original atom order.
+func (s *BornSolver) RadiiToOriginal(treeOrder []float64) []float64 {
+	out := make([]float64, len(treeOrder))
+	for i, orig := range s.TA.Perm {
+		out[orig] = treeOrder[i]
+	}
+	return out
+}
+
+// RadiiToTreeOrder converts original-order Born radii into tree order.
+func (s *BornSolver) RadiiToTreeOrder(orig []float64) []float64 {
+	out := make([]float64, len(orig))
+	for i, o := range s.TA.Perm {
+		out[i] = orig[o]
+	}
+	return out
+}

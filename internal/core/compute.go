@@ -1,0 +1,66 @@
+package core
+
+import (
+	"octgb/internal/molecule"
+	"octgb/internal/surface"
+)
+
+// Result bundles the output of a full serial treecode run.
+type Result struct {
+	BornRadii []float64 // original atom order
+	Epol      float64   // kcal/mol
+	BornStats Stats
+	EpolStats Stats
+}
+
+// ComputeSerial runs the whole pipeline — Born-radius treecode then energy
+// treecode — serially on one "rank". It is the reference implementation the
+// parallel engines are tested against, and the simplest entry point for
+// library users who just want an energy.
+func ComputeSerial(mol *molecule.Molecule, qpts []surface.QPoint, bc BornConfig, ec EpolConfig) Result {
+	var res Result
+	bs := NewBornSolver(mol, qpts, bc)
+	sNode, sAtom := bs.NewAccumulators()
+	for l := 0; l < bs.NumQLeaves(); l++ {
+		res.BornStats.Add(bs.AccumulateQLeaf(l, sNode, sAtom))
+	}
+	rTree := make([]float64, mol.N())
+	bs.PushIntegrals(sNode, sAtom, 0, int32(mol.N()), rTree)
+	res.BornRadii = bs.RadiiToOriginal(rTree)
+
+	charges := make([]float64, mol.N())
+	for i := range mol.Atoms {
+		charges[i] = mol.Atoms[i].Charge
+	}
+	es := NewEpolSolver(bs.TA, charges, res.BornRadii, ec)
+	var raw float64
+	for l := 0; l < es.NumLeaves(); l++ {
+		e, st := es.LeafEnergy(l)
+		raw += e
+		res.EpolStats.Add(st)
+	}
+	res.Epol = raw * EnergyScale()
+	return res
+}
+
+// ComputeSerialDual is ComputeSerial using the dual-tree traversals (the
+// OCT_CILK algorithm of [6]).
+func ComputeSerialDual(mol *molecule.Molecule, qpts []surface.QPoint, bc BornConfig, ec EpolConfig) Result {
+	var res Result
+	bs := NewBornSolver(mol, qpts, bc)
+	sNode, sAtom := bs.NewAccumulators()
+	res.BornStats = bs.AccumulateDual(sNode, sAtom)
+	rTree := make([]float64, mol.N())
+	bs.PushIntegrals(sNode, sAtom, 0, int32(mol.N()), rTree)
+	res.BornRadii = bs.RadiiToOriginal(rTree)
+
+	charges := make([]float64, mol.N())
+	for i := range mol.Atoms {
+		charges[i] = mol.Atoms[i].Charge
+	}
+	es := NewEpolSolver(bs.TA, charges, res.BornRadii, ec)
+	raw, st := es.EnergyDual()
+	res.EpolStats = st
+	res.Epol = raw * EnergyScale()
+	return res
+}

@@ -1,0 +1,391 @@
+package core
+
+import (
+	"math"
+
+	"octgb/internal/gb"
+	"octgb/internal/geom"
+	"octgb/internal/molecule"
+	"octgb/internal/octree"
+)
+
+// EpolConfig controls the APPROX-EPOL treecode.
+type EpolConfig struct {
+	// Eps is the energy approximation parameter ε (>0); paper uses 0.9.
+	// It controls both the well-separatedness test
+	// r_UV > (r_U + r_V)(1 + 2/ε) and the Born-radius bin width (bins are
+	// geometric with ratio 1+ε).
+	Eps float64
+	// Math selects exact or approximate sqrt/exp.
+	Math gb.MathMode
+	// LeafSize is the octree leaf capacity (≤0 → default). Ignored when
+	// the solver is built from an existing tree.
+	LeafSize int
+}
+
+func (c EpolConfig) withDefaults() EpolConfig {
+	if c.Eps <= 0 {
+		c.Eps = 0.9
+	}
+	return c
+}
+
+// EpolSolver holds the immutable state of the energy treecode: the atoms
+// octree with charges and Born radii in tree order, and the per-node
+// charge-by-Born-radius-bin aggregates q_U[k] of Fig. 3.
+type EpolSolver struct {
+	T   *octree.Tree
+	cfg EpolConfig
+
+	q     []float64 // charges, tree order
+	R     []float64 // Born radii, tree order
+	Rmin  float64
+	M     int       // number of Born-radius bins (the paper's M_ε)
+	bins  []float64 // node-major [node*M + k] charge sums
+	binOf []int32   // per-atom bin index, tree order
+	binRR []float64 // R_min²·(1+ε)^s for s = i+j, len 2M-1 (precomputed)
+	sep   float64   // separation factor 1 + 2/ε
+}
+
+// NewEpolSolver builds the energy treecode state over an existing atoms
+// octree. charges and bornR are in ORIGINAL atom order; tree.Perm maps them.
+func NewEpolSolver(tree *octree.Tree, charges, bornR []float64, cfg EpolConfig) *EpolSolver {
+	cfg = cfg.withDefaults()
+	n := len(tree.Points)
+	s := &EpolSolver{
+		T:   tree,
+		cfg: cfg,
+		q:   make([]float64, n),
+		R:   make([]float64, n),
+		sep: 1 + 2/cfg.Eps,
+	}
+	for i, orig := range tree.Perm {
+		s.q[i] = charges[orig]
+		s.R[i] = bornR[orig]
+	}
+
+	// Born-radius bins: geometric with ratio (1+ε) from R_min.
+	s.Rmin = math.Inf(1)
+	rmax := 0.0
+	for _, r := range s.R {
+		if r < s.Rmin {
+			s.Rmin = r
+		}
+		if r > rmax {
+			rmax = r
+		}
+	}
+	if n == 0 {
+		s.Rmin, rmax = 1, 1
+	}
+	logRatio := math.Log(1 + cfg.Eps)
+	s.M = 1
+	if rmax > s.Rmin {
+		s.M = int(math.Floor(math.Log(rmax/s.Rmin)/logRatio)) + 1
+	}
+
+	// Per-atom bin index.
+	s.binOf = make([]int32, n)
+	for i, r := range s.R {
+		k := 0
+		if r > s.Rmin {
+			k = int(math.Floor(math.Log(r/s.Rmin) / logRatio))
+		}
+		if k >= s.M {
+			k = s.M - 1
+		}
+		s.binOf[i] = int32(k)
+	}
+	binOf := s.binOf
+
+	// Per-node aggregates q_U[k]. Leaves fill from their atom ranges;
+	// internal nodes sum their children (bottom-up by reverse index: in
+	// this layout children always have larger indices than parents).
+	s.bins = make([]float64, len(tree.Nodes)*s.M)
+	for ni := len(tree.Nodes) - 1; ni >= 0; ni-- {
+		nd := &tree.Nodes[ni]
+		row := s.bins[ni*s.M : (ni+1)*s.M]
+		if nd.Leaf {
+			for i := nd.Start; i < nd.Start+nd.Count; i++ {
+				row[binOf[i]] += s.q[i]
+			}
+			continue
+		}
+		for _, ch := range nd.Children {
+			if ch == octree.NoChild {
+				continue
+			}
+			crow := s.bins[int(ch)*s.M : (int(ch)+1)*s.M]
+			for k := 0; k < s.M; k++ {
+				row[k] += crow[k]
+			}
+		}
+	}
+
+	// Precompute R_min²(1+ε)^(i+j) for all bin-pair sums.
+	s.binRR = make([]float64, 2*s.M-1)
+	for t := range s.binRR {
+		s.binRR[t] = s.Rmin * s.Rmin * math.Pow(1+cfg.Eps, float64(t))
+	}
+	return s
+}
+
+// NewEpolSolverFromMolecule builds the octree internally from the molecule
+// (charges from the atoms, Born radii supplied in original order).
+func NewEpolSolverFromMolecule(mol *molecule.Molecule, bornR []float64, cfg EpolConfig) *EpolSolver {
+	cfg = cfg.withDefaults()
+	positions := make([]geom.Vec3, mol.N())
+	charges := make([]float64, mol.N())
+	for i := range mol.Atoms {
+		positions[i] = mol.Atoms[i].Pos
+		charges[i] = mol.Atoms[i].Charge
+	}
+	tree := octree.Build(positions, cfg.LeafSize)
+	return NewEpolSolver(tree, charges, bornR, cfg)
+}
+
+// NumLeaves returns the number of leaves of the atoms octree — the unit of
+// node-based work division for the energy phase (Fig. 4 step 6).
+func (s *EpolSolver) NumLeaves() int { return s.T.NumLeaves() }
+
+// LeafEnergy runs APPROX-EPOL(root, V) for the atoms-octree leaf with index
+// vLeaf: the raw sum Σ q_u·q_v/f_GB over all ordered pairs (u ∈ tree,
+// v ∈ V). Multiply the total over all leaves by EnergyScale to obtain
+// E_pol. Stats report the work performed.
+func (s *EpolSolver) LeafEnergy(vLeaf int) (float64, Stats) {
+	var st Stats
+	v := s.T.LeafIdx[vLeaf]
+	e := s.epolVisit(0, v, &st)
+	return e, st
+}
+
+// EnergyScale is the constant −τ·k_e/2 that converts the raw ordered-pair
+// sum into kcal/mol.
+func EnergyScale() float64 {
+	return -0.5 * gb.Tau(gb.SolventDielectric) * gb.CoulombConstant
+}
+
+// epolVisit is the recursion of Fig. 3; v is always a leaf.
+func (s *EpolSolver) epolVisit(u, v int32, st *Stats) float64 {
+	st.NodesVisited++
+	un := &s.T.Nodes[u]
+	vn := &s.T.Nodes[v]
+	if un.Leaf {
+		// Exact ordered pairs between atoms under u and v (including the
+		// self pairs when u == v: f_GB(i,i) = R_i).
+		ulo, uhi := s.T.PointRange(u)
+		vlo, vhi := s.T.PointRange(v)
+		var sum float64
+		for i := ulo; i < uhi; i++ {
+			pi, qi, ri := s.T.Points[i], s.q[i], s.R[i]
+			for j := vlo; j < vhi; j++ {
+				if i == j {
+					sum += qi * qi / ri
+					continue
+				}
+				sum += gb.PairTerm(qi, s.q[j], pi.Dist2(s.T.Points[j]), ri, s.R[j], s.cfg.Math)
+			}
+		}
+		st.NearPairs += int64(uhi-ulo) * int64(vhi-vlo)
+		return sum
+	}
+	d := un.Center.Dist(vn.Center)
+	if d > (un.Radius+vn.Radius)*s.sep {
+		return s.binApprox(u, v, d*d, st)
+	}
+	var sum float64
+	for _, ch := range un.Children {
+		if ch != octree.NoChild {
+			sum += s.epolVisit(ch, v, st)
+		}
+	}
+	return sum
+}
+
+// binApprox evaluates the far-field bin-pair approximation of Fig. 3 step 2
+// for nodes u, v at squared center distance d2.
+func (s *EpolSolver) binApprox(u, v int32, d2 float64, st *Stats) float64 {
+	ub := s.bins[int(u)*s.M : (int(u)+1)*s.M]
+	vb := s.bins[int(v)*s.M : (int(v)+1)*s.M]
+	var sum float64
+	for i := 0; i < s.M; i++ {
+		qi := ub[i]
+		if qi == 0 {
+			continue
+		}
+		for j := 0; j < s.M; j++ {
+			qj := vb[j]
+			if qj == 0 {
+				continue
+			}
+			sum += s.binPairTerm(d2, i+j, qi, qj)
+			st.FarEval++
+		}
+	}
+	return sum
+}
+
+// binPairTerm evaluates one bin-pair far-field term:
+// q_U[i]·q_V[j] / f_GB with R_u·R_v ≈ R_min²(1+ε)^(i+j).
+func (s *EpolSolver) binPairTerm(d2 float64, binSum int, qi, qj float64) float64 {
+	rr := s.binRR[binSum]
+	if s.cfg.Math == gb.Approximate {
+		return qi * qj * gb.FastInvSqrt(d2+rr*gb.FastExp(-d2/(4*rr)))
+	}
+	return qi * qj / math.Sqrt(d2+rr*math.Exp(-d2/(4*rr)))
+}
+
+// binIndex returns the Born-radius bin of atom i (tree order).
+func (s *EpolSolver) binIndex(i int32) int { return int(s.binOf[i]) }
+
+// EnergyDual runs the dual-tree variant over ordered node pairs starting at
+// (root, root) — the OCT_CILK algorithm. It returns the raw ordered-pair
+// sum (scale by EnergyScale) and the work counters.
+func (s *EpolSolver) EnergyDual() (float64, Stats) {
+	var st Stats
+	if len(s.T.Nodes) == 0 {
+		return 0, st
+	}
+	e := s.epolDual(0, 0, &st)
+	return e, st
+}
+
+func (s *EpolSolver) epolDual(u, v int32, st *Stats) float64 {
+	st.NodesVisited++
+	un := &s.T.Nodes[u]
+	vn := &s.T.Nodes[v]
+	d := un.Center.Dist(vn.Center)
+	if u != v && d > (un.Radius+vn.Radius)*s.sep {
+		return s.binApprox(u, v, d*d, st)
+	}
+	if un.Leaf && vn.Leaf {
+		ulo, uhi := s.T.PointRange(u)
+		vlo, vhi := s.T.PointRange(v)
+		var sum float64
+		for i := ulo; i < uhi; i++ {
+			pi, qi, ri := s.T.Points[i], s.q[i], s.R[i]
+			for j := vlo; j < vhi; j++ {
+				if i == j {
+					sum += qi * qi / ri
+					continue
+				}
+				sum += gb.PairTerm(qi, s.q[j], pi.Dist2(s.T.Points[j]), ri, s.R[j], s.cfg.Math)
+			}
+		}
+		st.NearPairs += int64(uhi-ulo) * int64(vhi-vlo)
+		return sum
+	}
+	var sum float64
+	if vn.Leaf || (!un.Leaf && un.Radius >= vn.Radius) {
+		for _, ch := range un.Children {
+			if ch != octree.NoChild {
+				sum += s.epolDual(ch, v, st)
+			}
+		}
+	} else {
+		for _, ch := range vn.Children {
+			if ch != octree.NoChild {
+				sum += s.epolDual(u, ch, st)
+			}
+		}
+	}
+	return sum
+}
+
+// Restrict returns a copy of the solver in which every atom NOT under one
+// of the resident leaf nodes has its charge, Born radius and position
+// poisoned with NaN. The tree skeleton (node geometry and charge bins) is
+// retained — it is the part a distributed-data rank replicates. Any
+// traversal that touches a non-resident atom's data then yields NaN, so a
+// finite result PROVES the resident set (owned + ghosts from NeededLeaves)
+// was sufficient. This is the verification device behind the
+// distributed-data engine (paper §VI future work).
+func (s *EpolSolver) Restrict(residentLeaves []int32) *EpolSolver {
+	out := *s
+	nan := math.NaN()
+	out.q = make([]float64, len(s.q))
+	out.R = make([]float64, len(s.R))
+	ptsCopy := make([]geom.Vec3, len(s.T.Points))
+	for i := range out.q {
+		out.q[i], out.R[i] = nan, nan
+		ptsCopy[i] = geom.V(nan, nan, nan)
+	}
+	for _, node := range residentLeaves {
+		nd := &s.T.Nodes[node]
+		for i := nd.Start; i < nd.Start+nd.Count; i++ {
+			out.q[i], out.R[i] = s.q[i], s.R[i]
+			ptsCopy[i] = s.T.Points[i]
+		}
+	}
+	// Shallow-copy the tree with the poisoned point payload; node geometry
+	// (centers/radii) is skeleton data and stays.
+	tree := *s.T
+	tree.Points = ptsCopy
+	out.T = &tree
+	return &out
+}
+
+// SetResident re-installs real data for the atoms under the given leaf
+// into a Restricted solver (used when ghost data arrives from its owner).
+func (s *EpolSolver) SetResident(leaf int32, q, R []float64, pts []geom.Vec3) {
+	nd := &s.T.Nodes[leaf]
+	for k := int32(0); k < nd.Count; k++ {
+		i := nd.Start + k
+		s.q[i], s.R[i] = q[k], R[k]
+		s.T.Points[i] = pts[k]
+	}
+}
+
+// ResidentData extracts the atom payload under a leaf (for ghost sends).
+func (s *EpolSolver) ResidentData(leaf int32) (q, R []float64, pts []geom.Vec3) {
+	nd := &s.T.Nodes[leaf]
+	q = append(q, s.q[nd.Start:nd.Start+nd.Count]...)
+	R = append(R, s.R[nd.Start:nd.Start+nd.Count]...)
+	pts = append(pts, s.T.Points[nd.Start:nd.Start+nd.Count]...)
+	return q, R, pts
+}
+
+// NeededLeaves runs a skeleton-only mirror of the APPROX-EPOL(root, V)
+// traversal for the given leaf and returns the node indices of every leaf
+// whose ATOM DATA the exact near-field part would touch (V's own leaf
+// included). Far-field cells need only the per-node charge bins, which are
+// part of the small tree skeleton. This is the analysis primitive behind
+// the data-distribution variant of the paper's §VI future work: a rank
+// owning a set of leaves needs only those leaves' atoms, the skeleton, and
+// the "ghost" leaves returned here.
+func (s *EpolSolver) NeededLeaves(vLeaf int) []int32 {
+	var out []int32
+	v := s.T.LeafIdx[vLeaf]
+	s.neededVisit(0, v, &out)
+	return out
+}
+
+func (s *EpolSolver) neededVisit(u, v int32, out *[]int32) {
+	un := &s.T.Nodes[u]
+	vn := &s.T.Nodes[v]
+	if un.Leaf {
+		*out = append(*out, u)
+		return
+	}
+	if un.Center.Dist(vn.Center) > (un.Radius+vn.Radius)*s.sep {
+		return // far field: bins only, no atom data needed
+	}
+	for _, ch := range un.Children {
+		if ch != octree.NoChild {
+			s.neededVisit(ch, v, out)
+		}
+	}
+}
+
+// BinChargeSum returns Σ_k q_U[k] for a node — used by invariant tests
+// (must equal the total charge under the node).
+func (s *EpolSolver) BinChargeSum(node int32) float64 {
+	var sum float64
+	for _, q := range s.bins[int(node)*s.M : (int(node)+1)*s.M] {
+		sum += q
+	}
+	return sum
+}
+
+// NumBins returns M_ε.
+func (s *EpolSolver) NumBins() int { return s.M }

@@ -1,0 +1,107 @@
+package core
+
+import "octgb/internal/octree"
+
+// This file provides frontier decompositions of the dual-tree traversals:
+// a breadth-first expansion of the recursion into independent (node, node)
+// pairs that a work-stealing pool can execute in parallel — the nested
+// parallelism the paper gets from cilk++'s spawn on the recursive calls.
+
+// DualFrontier expands the Born dual-tree recursion breadth-first until at
+// least minPairs independent pairs exist (or the recursion bottoms out).
+// Completing AccumulateDualPair on every returned pair is equivalent to
+// AccumulateDual.
+func (s *BornSolver) DualFrontier(minPairs int) [][2]int32 {
+	if len(s.TA.Nodes) == 0 || len(s.TQ.Nodes) == 0 {
+		return nil
+	}
+	queue := [][2]int32{{0, 0}}
+	for len(queue) < minPairs {
+		// Find the first expandable pair.
+		expanded := false
+		for i, pr := range queue {
+			a, q := pr[0], pr[1]
+			an, qn := &s.TA.Nodes[a], &s.TQ.Nodes[q]
+			d := an.Center.Dist(qn.Center)
+			if wellSeparated(d, an.Radius, qn.Radius, s.sepC) || (an.Leaf && qn.Leaf) {
+				continue // terminal; cannot expand
+			}
+			queue = append(queue[:i], queue[i+1:]...)
+			if qn.Leaf || (!an.Leaf && an.Radius >= qn.Radius) {
+				for _, ch := range an.Children {
+					if ch != octree.NoChild {
+						queue = append(queue, [2]int32{ch, q})
+					}
+				}
+			} else {
+				for _, ch := range qn.Children {
+					if ch != octree.NoChild {
+						queue = append(queue, [2]int32{a, ch})
+					}
+				}
+			}
+			expanded = true
+			break
+		}
+		if !expanded {
+			break
+		}
+	}
+	return queue
+}
+
+// AccumulateDualPair runs the dual-tree Born recursion from the given
+// (atoms-node, q-node) pair.
+func (s *BornSolver) AccumulateDualPair(a, q int32, sNode, sAtom []float64) Stats {
+	var st Stats
+	s.approxIntegralsDual(a, q, sNode, sAtom, &st)
+	return st
+}
+
+// EpolDualFrontier expands the energy dual-tree recursion breadth-first
+// into at least minPairs independent ordered pairs.
+func (s *EpolSolver) EpolDualFrontier(minPairs int) [][2]int32 {
+	if len(s.T.Nodes) == 0 {
+		return nil
+	}
+	queue := [][2]int32{{0, 0}}
+	for len(queue) < minPairs {
+		expanded := false
+		for i, pr := range queue {
+			u, v := pr[0], pr[1]
+			un, vn := &s.T.Nodes[u], &s.T.Nodes[v]
+			d := un.Center.Dist(vn.Center)
+			if (u != v && d > (un.Radius+vn.Radius)*s.sep) || (un.Leaf && vn.Leaf) {
+				continue
+			}
+			queue = append(queue[:i], queue[i+1:]...)
+			if vn.Leaf || (!un.Leaf && un.Radius >= vn.Radius) {
+				for _, ch := range un.Children {
+					if ch != octree.NoChild {
+						queue = append(queue, [2]int32{ch, v})
+					}
+				}
+			} else {
+				for _, ch := range vn.Children {
+					if ch != octree.NoChild {
+						queue = append(queue, [2]int32{u, ch})
+					}
+				}
+			}
+			expanded = true
+			break
+		}
+		if !expanded {
+			break
+		}
+	}
+	return queue
+}
+
+// EnergyDualPair runs the energy dual-tree recursion from one ordered
+// node pair and returns the raw sum (scale by EnergyScale).
+func (s *EpolSolver) EnergyDualPair(u, v int32) (float64, Stats) {
+	var st Stats
+	e := s.epolDual(u, v, &st)
+	return e, st
+}

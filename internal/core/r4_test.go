@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"octgb/internal/gb"
+)
+
+func TestR4TreecodeMatchesNaiveR4(t *testing.T) {
+	m, q := testMol(500, 81)
+	exact := gb.BornRadiiR4(m, q)
+
+	bs := NewBornSolver(m, q, BornConfig{Eps: 0.05, Exponent: 4})
+	sNode, sAtom := bs.NewAccumulators()
+	for l := 0; l < bs.NumQLeaves(); l++ {
+		bs.AccumulateQLeaf(l, sNode, sAtom)
+	}
+	rTree := make([]float64, m.N())
+	bs.PushIntegrals(sNode, sAtom, 0, int32(m.N()), rTree)
+	R := bs.RadiiToOriginal(rTree)
+
+	for i := range R {
+		if e := relErr(R[i], exact[i]); e > 0.02 {
+			t.Fatalf("atom %d: r4 treecode %v vs naive %v", i, R[i], exact[i])
+		}
+	}
+}
+
+func TestR4DiffersFromR6(t *testing.T) {
+	// The Coulomb-field approximation systematically underestimates the
+	// Born radii of buried atoms relative to the r⁶ form (Grycuk [14]) —
+	// the two exponents must give materially different radii on a protein.
+	m, q := testMol(400, 82)
+	run := func(exp int) []float64 {
+		bs := NewBornSolver(m, q, BornConfig{Eps: 0.5, Exponent: exp})
+		sNode, sAtom := bs.NewAccumulators()
+		for l := 0; l < bs.NumQLeaves(); l++ {
+			bs.AccumulateQLeaf(l, sNode, sAtom)
+		}
+		rTree := make([]float64, m.N())
+		bs.PushIntegrals(sNode, sAtom, 0, int32(m.N()), rTree)
+		return bs.RadiiToOriginal(rTree)
+	}
+	r4 := run(4)
+	r6 := run(6)
+	diff := 0
+	for i := range r4 {
+		if relErr(r4[i], r6[i]) > 0.02 {
+			diff++
+		}
+	}
+	if diff < len(r4)/10 {
+		t.Errorf("r4 and r6 radii nearly identical (%d/%d differ)", diff, len(r4))
+	}
+}
+
+func TestExponentDefaultsToR6(t *testing.T) {
+	c := BornConfig{}.withDefaults()
+	if c.Exponent != 6 {
+		t.Errorf("default exponent %d", c.Exponent)
+	}
+	c = BornConfig{Exponent: 4}.withDefaults()
+	if c.Exponent != 4 {
+		t.Errorf("explicit r4 lost: %d", c.Exponent)
+	}
+	// Invalid exponents collapse to the r⁶ default.
+	c = BornConfig{Exponent: 5}.withDefaults()
+	if c.Exponent != 6 {
+		t.Errorf("invalid exponent kept: %d", c.Exponent)
+	}
+}
+
+func TestR4DualMatchesSingle(t *testing.T) {
+	m, q := testMol(300, 83)
+	bs := NewBornSolver(m, q, BornConfig{Eps: 0.5, Exponent: 4})
+	s1n, s1a := bs.NewAccumulators()
+	for l := 0; l < bs.NumQLeaves(); l++ {
+		bs.AccumulateQLeaf(l, s1n, s1a)
+	}
+	r1 := make([]float64, m.N())
+	bs.PushIntegrals(s1n, s1a, 0, int32(m.N()), r1)
+
+	s2n, s2a := bs.NewAccumulators()
+	bs.AccumulateDual(s2n, s2a)
+	r2 := make([]float64, m.N())
+	bs.PushIntegrals(s2n, s2a, 0, int32(m.N()), r2)
+	for i := range r1 {
+		if e := relErr(r2[i], r1[i]); e > 0.1 {
+			t.Fatalf("atom %d: dual %v vs single %v", i, r2[i], r1[i])
+		}
+	}
+}

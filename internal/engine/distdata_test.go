@@ -1,0 +1,87 @@
+package engine
+
+import (
+	"testing"
+
+	"octgb/internal/molecule"
+	"octgb/internal/simtime"
+	"octgb/internal/surface"
+)
+
+func TestDistributeDataReducesMemory(t *testing.T) {
+	m := molecule.GenerateProtein("dd", 6000, 71)
+	pr := NewProblem(m, surface.Default())
+	sm := BuildSimModel(pr, OctMPI, Options{}, simtime.DefaultOpCosts())
+	mach := simtime.Lonestar4()
+
+	dd := sm.DistributeData(12, mach)
+	if dd.P != 12 {
+		t.Fatalf("P = %d", dd.P)
+	}
+	if dd.BytesPerRankDistributed >= dd.BytesPerRankReplicated {
+		t.Errorf("distributed memory %d not below replicated %d",
+			dd.BytesPerRankDistributed, dd.BytesPerRankReplicated)
+	}
+	if dd.MaxOwnedAtoms <= 0 || dd.MaxOwnedAtoms > 6000 {
+		t.Errorf("owned atoms %d", dd.MaxOwnedAtoms)
+	}
+	if dd.MaxGhostAtoms <= 0 {
+		t.Error("no ghosts found — near field always crosses leaf-segment boundaries")
+	}
+	if dd.ExchangeWords <= 0 || dd.ExchangeCostSec <= 0 {
+		t.Errorf("exchange not modeled: %d words, %v s", dd.ExchangeWords, dd.ExchangeCostSec)
+	}
+}
+
+func TestDistributeDataOwnedShrinksWithP(t *testing.T) {
+	m := molecule.GenerateProtein("dd2", 4000, 72)
+	pr := NewProblem(m, surface.Default())
+	sm := BuildSimModel(pr, OctMPI, Options{}, simtime.DefaultOpCosts())
+	mach := simtime.Lonestar4()
+
+	d2 := sm.DistributeData(2, mach)
+	d16 := sm.DistributeData(16, mach)
+	if d16.MaxOwnedAtoms >= d2.MaxOwnedAtoms {
+		t.Errorf("owned atoms did not shrink: P=2 %d, P=16 %d", d2.MaxOwnedAtoms, d16.MaxOwnedAtoms)
+	}
+	// Owned+ghost cover at least the rank's own atoms; with P ranks the
+	// union of owned atoms is the whole molecule.
+	if d2.MaxOwnedAtoms < 4000/2 {
+		t.Errorf("P=2 max owned %d below even share", d2.MaxOwnedAtoms)
+	}
+}
+
+func TestDistributeDataSingleRankHasNoGhosts(t *testing.T) {
+	m := molecule.GenerateProtein("dd3", 1500, 73)
+	pr := NewProblem(m, surface.Default())
+	sm := BuildSimModel(pr, OctMPI, Options{}, simtime.DefaultOpCosts())
+	dd := sm.DistributeData(1, simtime.Lonestar4())
+	if dd.MaxGhostAtoms != 0 || dd.ExchangeWords != 0 {
+		t.Errorf("single rank has ghosts: %+v", dd)
+	}
+	if dd.MaxOwnedAtoms != 1500 {
+		t.Errorf("single rank owns %d of 1500", dd.MaxOwnedAtoms)
+	}
+}
+
+func TestNeededLeavesCoverNearField(t *testing.T) {
+	// Every leaf's needed set includes itself (self-interactions are
+	// near-field by construction).
+	m := molecule.GenerateProtein("dd4", 800, 74)
+	pr := NewProblem(m, surface.Default())
+	sm := BuildSimModel(pr, OctMPI, Options{}, simtime.DefaultOpCosts())
+	es := sm.es
+	for l := 0; l < es.NumLeaves(); l++ {
+		self := es.T.Leaves()[l]
+		found := false
+		for _, n := range es.NeededLeaves(l) {
+			if n == self {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("leaf %d needed-set misses itself", l)
+		}
+	}
+}

@@ -1,0 +1,323 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"octgb/internal/cluster"
+	"octgb/internal/core"
+	"octgb/internal/gb"
+	"octgb/internal/partition"
+	"octgb/internal/sched"
+)
+
+// RealReport is the result of a genuinely executed parallel run.
+type RealReport struct {
+	Energy    float64
+	BornRadii []float64 // original order
+	Wall      time.Duration
+	BornStats core.Stats
+	EpolStats core.Stats
+	Sched     sched.Stats // aggregated work-stealing statistics
+	Phases    PhaseTimings
+}
+
+// PhaseTimings is rank 0's wall-clock breakdown of one run, matching the
+// phases of the paper's Fig. 4.
+type PhaseTimings struct {
+	Born time.Duration // steps 1–2: Born integrals
+	Push time.Duration // step 4: push integrals to atoms
+	Epol time.Duration // step 6: energy traversal
+	Comm time.Duration // steps 3, 5, 7: collectives
+}
+
+// RunReal executes the engine with real parallelism: o.Ranks in-process
+// communicator ranks (goroutines) each driving a work-stealing pool of
+// o.Threads workers. Wall time is measured. Note: in-process ranks share
+// the immutable octrees (the trees are read-only after construction);
+// genuine per-process replication is available through cmd/epolnode's TCP
+// ranks. Results are identical either way — sharing affects only memory.
+func RunReal(pr *Problem, k Kind, o Options) (RealReport, error) {
+	o = o.withDefaults(k)
+	if err := o.Validate(); err != nil {
+		return RealReport{}, err
+	}
+	start := time.Now()
+
+	var rep RealReport
+	switch k {
+	case Naive:
+		rep = runNaiveReal(pr, o)
+	case OctCilk:
+		rep = runCilkReal(pr, o)
+	default:
+		r, err := runDistributedReal(pr, o)
+		if err != nil {
+			return RealReport{}, err
+		}
+		rep = r
+	}
+	rep.Wall = time.Since(start)
+	return rep, nil
+}
+
+// runNaiveReal evaluates the exact reference, parallelized over atoms.
+func runNaiveReal(pr *Problem, o Options) RealReport {
+	pool := sched.NewPool(o.Threads)
+	n := pr.Mol.N()
+	R := gb.BornRadiiR6(pr.Mol, pr.QPts)
+	var rep RealReport
+	rep.BornRadii = R
+	rep.BornStats = core.Stats{NearPairs: int64(n) * int64(len(pr.QPts))}
+	partial := make([]float64, pool.Workers())
+	tau := gb.Tau(gb.SolventDielectric)
+	rep.Sched = pool.ParallelFor(n, 0, func(w, lo, hi int) {
+		var sum float64
+		for i := lo; i < hi; i++ {
+			ai := &pr.Mol.Atoms[i]
+			sum += ai.Charge * ai.Charge / R[i]
+			for j := i + 1; j < n; j++ {
+				aj := &pr.Mol.Atoms[j]
+				sum += 2 * gb.PairTerm(ai.Charge, aj.Charge, ai.Pos.Dist2(aj.Pos), R[i], R[j], o.Math)
+			}
+		}
+		partial[w] += sum
+	})
+	var raw float64
+	for _, p := range partial {
+		raw += p
+	}
+	rep.Energy = -0.5 * tau * gb.CoulombConstant * raw
+	rep.EpolStats = core.Stats{NearPairs: int64(n) * int64(n)}
+	return rep
+}
+
+// runCilkReal executes the dual-tree algorithm with one rank and a
+// work-stealing pool over a dual-tree frontier.
+func runCilkReal(pr *Problem, o Options) RealReport {
+	bc := core.BornConfig{Eps: o.BornEps, CriterionPower: o.CriterionPower, LeafSize: o.LeafSize}
+	bs := core.NewBornSolver(pr.Mol, pr.QPts, bc)
+	pool := sched.NewPool(o.Threads)
+	n := pr.Mol.N()
+
+	var rep RealReport
+	frontier := bs.DualFrontier(8 * o.Threads * o.Threads)
+	accN := make([][]float64, pool.Workers())
+	accA := make([][]float64, pool.Workers())
+	statsW := make([]core.Stats, pool.Workers())
+	s1 := pool.ParallelFor(len(frontier), 1, func(w, lo, hi int) {
+		if accN[w] == nil {
+			accN[w], accA[w] = bs.NewAccumulators()
+		}
+		for i := lo; i < hi; i++ {
+			statsW[w].Add(bs.AccumulateDualPair(frontier[i][0], frontier[i][1], accN[w], accA[w]))
+		}
+	})
+	sNode, sAtom := bs.NewAccumulators()
+	for w := range accN {
+		if accN[w] == nil {
+			continue
+		}
+		for i := range sNode {
+			sNode[i] += accN[w][i]
+		}
+		for i := range sAtom {
+			sAtom[i] += accA[w][i]
+		}
+		rep.BornStats.Add(statsW[w])
+	}
+	rTree := make([]float64, n)
+	bs.PushIntegrals(sNode, sAtom, 0, int32(n), rTree)
+	rep.BornRadii = bs.RadiiToOriginal(rTree)
+
+	es := core.NewEpolSolver(bs.TA, pr.Charges, rep.BornRadii, core.EpolConfig{Eps: o.EpolEps, Math: o.Math})
+	ef := es.EpolDualFrontier(8 * o.Threads * o.Threads)
+	partial := make([]float64, pool.Workers())
+	estatsW := make([]core.Stats, pool.Workers())
+	s2 := pool.ParallelFor(len(ef), 1, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e, st := es.EnergyDualPair(ef[i][0], ef[i][1])
+			partial[w] += e
+			estatsW[w].Add(st)
+		}
+	})
+	var raw float64
+	for w := range partial {
+		raw += partial[w]
+		rep.EpolStats.Add(estatsW[w])
+	}
+	rep.Energy = raw * core.EnergyScale()
+	rep.Sched = sched.Stats{
+		Executed:     s1.Executed + s2.Executed,
+		Steals:       s1.Steals + s2.Steals,
+		FailedSteals: s1.FailedSteals + s2.FailedSteals,
+	}
+	return rep
+}
+
+// RunRank executes one rank of the Fig. 4 algorithm over an arbitrary
+// communicator — the entry point for genuine multi-process deployments
+// (cmd/epolnode): every process loads the same inputs, builds its own
+// octrees (step 1, replicated data as in the paper), and calls RunRank.
+func RunRank(c cluster.Comm, pr *Problem, o Options) (RealReport, error) {
+	o = o.withDefaults(OctMPICilk)
+	o.Ranks = c.Size()
+	bc := core.BornConfig{Eps: o.BornEps, CriterionPower: o.CriterionPower, LeafSize: o.LeafSize}
+	bs := core.NewBornSolver(pr.Mol, pr.QPts, bc)
+	return runRank(c, bs, pr, o)
+}
+
+// runDistributedReal executes OCT_MPI (Threads == 1) or OCT_MPI+CILK over
+// in-process communicator ranks, following the paper's Fig. 4 step by step.
+func runDistributedReal(pr *Problem, o Options) (RealReport, error) {
+	// Step 1: octrees. Built once; immutable thereafter (in-process ranks
+	// share them, see RunReal doc).
+	bc := core.BornConfig{Eps: o.BornEps, CriterionPower: o.CriterionPower, LeafSize: o.LeafSize}
+	bs := core.NewBornSolver(pr.Mol, pr.QPts, bc)
+	P := o.Ranks
+
+	results := make([]RealReport, P)
+	err := cluster.RunLocal(P, nil, func(c cluster.Comm) error {
+		rep, err := runRank(c, bs, pr, o)
+		if err != nil {
+			return err
+		}
+		results[c.Rank()] = rep
+		return nil
+	})
+	if err != nil {
+		return RealReport{}, err
+	}
+
+	// Aggregate stats across ranks; energy/radii identical on all ranks.
+	out := results[0]
+	for _, r := range results[1:] {
+		out.BornStats.Add(r.BornStats)
+		out.EpolStats.Add(r.EpolStats)
+		out.Sched.Executed += r.Sched.Executed
+		out.Sched.Steals += r.Sched.Steals
+		out.Sched.FailedSteals += r.Sched.FailedSteals
+	}
+	if out.BornRadii == nil {
+		return out, fmt.Errorf("engine: no result produced")
+	}
+	return out, nil
+}
+
+// runRank is the per-rank body of the paper's Fig. 4 (steps 2–7).
+func runRank(c cluster.Comm, bs *core.BornSolver, pr *Problem, o Options) (RealReport, error) {
+	n := pr.Mol.N()
+	P := c.Size()
+	rank := c.Rank()
+	pool := sched.NewPool(o.Threads)
+	var rep RealReport
+	mark := time.Now()
+	lap := func(dst *time.Duration) {
+		now := time.Now()
+		*dst += now.Sub(mark)
+		mark = now
+	}
+
+	// Step 2: approximated integrals for this rank's q-leaf segment.
+	sNode, sAtom := bs.NewAccumulators()
+	seg := partition.ForRank(bs.NumQLeaves(), P, rank)
+	if o.Threads == 1 {
+		for l := seg.Lo; l < seg.Hi; l++ {
+			rep.BornStats.Add(bs.AccumulateQLeaf(l, sNode, sAtom))
+		}
+	} else {
+		accN := make([][]float64, pool.Workers())
+		accA := make([][]float64, pool.Workers())
+		statsW := make([]core.Stats, pool.Workers())
+		st := pool.ParallelFor(seg.Len(), 1, func(w, lo, hi int) {
+			if accN[w] == nil {
+				accN[w], accA[w] = bs.NewAccumulators()
+			}
+			for l := lo; l < hi; l++ {
+				statsW[w].Add(bs.AccumulateQLeaf(seg.Lo+l, accN[w], accA[w]))
+			}
+		})
+		rep.Sched = st
+		for w := range accN {
+			if accN[w] == nil {
+				continue
+			}
+			for i := range sNode {
+				sNode[i] += accN[w][i]
+			}
+			for i := range sAtom {
+				sAtom[i] += accA[w][i]
+			}
+			rep.BornStats.Add(statsW[w])
+		}
+	}
+
+	lap(&rep.Phases.Born)
+
+	// Step 3: gather partial integrals (MPI_Allreduce).
+	if err := c.AllreduceSum(sNode); err != nil {
+		return rep, err
+	}
+	if err := c.AllreduceSum(sAtom); err != nil {
+		return rep, err
+	}
+	lap(&rep.Phases.Comm)
+
+	// Step 4: Born radii for this rank's atom segment.
+	aseg := partition.ForRank(n, P, rank)
+	rTree := make([]float64, n)
+	bs.PushIntegrals(sNode, sAtom, int32(aseg.Lo), int32(aseg.Hi), rTree)
+	lap(&rep.Phases.Push)
+
+	// Step 5: gather Born radii of the other segments.
+	counts := make([]int, P)
+	for r := 0; r < P; r++ {
+		counts[r] = partition.ForRank(n, P, r).Len()
+	}
+	rFull := make([]float64, n)
+	if err := c.Allgatherv(rTree[aseg.Lo:aseg.Hi], counts, rFull); err != nil {
+		return rep, err
+	}
+	rep.BornRadii = bs.RadiiToOriginal(rFull)
+	lap(&rep.Phases.Comm)
+
+	// Step 6: partial energy for this rank's leaf segment.
+	es := core.NewEpolSolver(bs.TA, pr.Charges, rep.BornRadii, core.EpolConfig{Eps: o.EpolEps, Math: o.Math})
+	lseg := partition.ForRank(es.NumLeaves(), P, rank)
+	var raw float64
+	if o.Threads == 1 {
+		for l := lseg.Lo; l < lseg.Hi; l++ {
+			e, st := es.LeafEnergy(l)
+			raw += e
+			rep.EpolStats.Add(st)
+		}
+	} else {
+		partial := make([]float64, pool.Workers())
+		statsW := make([]core.Stats, pool.Workers())
+		st := pool.ParallelFor(lseg.Len(), 1, func(w, lo, hi int) {
+			for l := lo; l < hi; l++ {
+				e, s := es.LeafEnergy(lseg.Lo + l)
+				partial[w] += e
+				statsW[w].Add(s)
+			}
+		})
+		for w := range partial {
+			raw += partial[w]
+			rep.EpolStats.Add(statsW[w])
+		}
+		rep.Sched.Executed += st.Executed
+		rep.Sched.Steals += st.Steals
+		rep.Sched.FailedSteals += st.FailedSteals
+	}
+
+	lap(&rep.Phases.Epol)
+
+	// Step 7: accumulate partial energies.
+	ebuf := []float64{raw}
+	if err := c.AllreduceSum(ebuf); err != nil {
+		return rep, err
+	}
+	lap(&rep.Phases.Comm)
+	rep.Energy = ebuf[0] * core.EnergyScale()
+	return rep, nil
+}

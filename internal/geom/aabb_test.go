@@ -1,0 +1,106 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyAABB(t *testing.T) {
+	e := EmptyAABB()
+	if !e.IsEmpty() {
+		t.Error("EmptyAABB not empty")
+	}
+	b := NewAABB(V(1, 2, 3))
+	if got := e.Union(b); got != b {
+		t.Errorf("empty union identity: %v", got)
+	}
+}
+
+func TestNewAABBContainsAll(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	pts := make([]Vec3, 50)
+	for i := range pts {
+		pts[i] = V(r.NormFloat64()*10, r.NormFloat64()*10, r.NormFloat64()*10)
+	}
+	b := NewAABB(pts...)
+	for _, p := range pts {
+		if !b.Contains(p) {
+			t.Fatalf("box %v does not contain %v", b, p)
+		}
+	}
+}
+
+func TestOctantsPartition(t *testing.T) {
+	b := AABB{Min: V(-1, -2, -3), Max: V(5, 4, 3)}
+	// Every octant is inside the parent, octants tile the parent volume.
+	var vol float64
+	for i := 0; i < 8; i++ {
+		o := b.Octant(i)
+		s := o.Size()
+		vol += s.X * s.Y * s.Z
+		if !b.Contains(o.Min) || !b.Contains(o.Max) {
+			t.Errorf("octant %d escapes parent", i)
+		}
+	}
+	s := b.Size()
+	want := s.X * s.Y * s.Z
+	if !almostEqual(vol, want, 1e-12) {
+		t.Errorf("octant volumes %v != parent %v", vol, want)
+	}
+}
+
+func TestOctantIndexRoundTrip(t *testing.T) {
+	b := AABB{Min: V(0, 0, 0), Max: V(8, 8, 8)}
+	r := rand.New(rand.NewSource(3))
+	for n := 0; n < 200; n++ {
+		p := V(r.Float64()*8, r.Float64()*8, r.Float64()*8)
+		i := b.OctantIndex(p)
+		if !b.Octant(i).Contains(p) {
+			t.Fatalf("point %v assigned octant %d that does not contain it", p, i)
+		}
+	}
+}
+
+func TestCube(t *testing.T) {
+	b := AABB{Min: V(0, 0, 0), Max: V(2, 4, 6)}
+	c := b.Cube()
+	s := c.Size()
+	if s.X != s.Y || s.Y != s.Z {
+		t.Errorf("cube not cubic: %v", s)
+	}
+	if s.X != 6 {
+		t.Errorf("cube side = %v, want 6", s.X)
+	}
+	if c.Center() != b.Center() {
+		t.Errorf("cube center moved: %v vs %v", c.Center(), b.Center())
+	}
+	// Cube contains the original box corners.
+	if !c.Contains(b.Min) || !c.Contains(b.Max) {
+		t.Error("cube does not contain original box")
+	}
+}
+
+// Property: Union is commutative and contains both operands' centers.
+func TestUnionProperty(t *testing.T) {
+	f := func(a1, a2, a3, b1, b2, b3, c1, c2, c3, d1, d2, d3 float64) bool {
+		if anyBad(a1, a2, a3, b1, b2, b3, c1, c2, c3, d1, d2, d3) {
+			return true
+		}
+		a := NewAABB(V(a1, a2, a3), V(b1, b2, b3))
+		b := NewAABB(V(c1, c2, c3), V(d1, d2, d3))
+		u1, u2 := a.Union(b), b.Union(a)
+		return u1 == u2 && u1.Contains(a.Center()) && u1.Contains(b.Center())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(11))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHalfDiagonal(t *testing.T) {
+	b := AABB{Min: V(0, 0, 0), Max: V(2, 2, 1)}
+	want := 1.5 // sqrt(1+1+0.25)
+	if got := b.HalfDiagonal(); !almostEqual(got, want, 1e-14) {
+		t.Errorf("HalfDiagonal = %v, want %v", got, want)
+	}
+}

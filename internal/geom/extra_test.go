@@ -1,0 +1,84 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAABBContainsBoundary(t *testing.T) {
+	b := AABB{Min: V(0, 0, 0), Max: V(1, 1, 1)}
+	for _, p := range []Vec3{V(0, 0, 0), V(1, 1, 1), V(0.5, 1, 0)} {
+		if !b.Contains(p) {
+			t.Errorf("boundary point %v not contained", p)
+		}
+	}
+	for _, p := range []Vec3{V(-1e-12, 0, 0), V(1.0000001, 0.5, 0.5)} {
+		if b.Contains(p) {
+			t.Errorf("outside point %v contained", p)
+		}
+	}
+}
+
+func TestOctantIndexBitLayout(t *testing.T) {
+	b := AABB{Min: V(0, 0, 0), Max: V(2, 2, 2)}
+	cases := []struct {
+		p    Vec3
+		want int
+	}{
+		{V(0.5, 0.5, 0.5), 0},
+		{V(1.5, 0.5, 0.5), 1},
+		{V(0.5, 1.5, 0.5), 2},
+		{V(0.5, 0.5, 1.5), 4},
+		{V(1.5, 1.5, 1.5), 7},
+	}
+	for _, c := range cases {
+		if got := b.OctantIndex(c.p); got != c.want {
+			t.Errorf("OctantIndex(%v) = %d, want %d", c.p, got, c.want)
+		}
+	}
+}
+
+func TestMinMaxComponents(t *testing.T) {
+	v := V(-3, 7, 2)
+	if v.MaxComponent() != 7 || v.MinComponent() != -3 {
+		t.Errorf("components: max %v min %v", v.MaxComponent(), v.MinComponent())
+	}
+	if v.Abs() != V(3, 7, 2) {
+		t.Errorf("Abs = %v", v.Abs())
+	}
+}
+
+func TestRotationComposition360(t *testing.T) {
+	// Four quarter turns are the identity.
+	q := RotationAxisAngle(V(0, 0, 1), math.Pi/2)
+	m := q.Compose(q).Compose(q).Compose(q)
+	p := V(1, 2, 3)
+	if got := m.Apply(p); got.Dist(p) > 1e-12 {
+		t.Errorf("4 quarter turns moved %v to %v", p, got)
+	}
+}
+
+func TestInverseOfComposition(t *testing.T) {
+	a := RotationAxisAngle(V(1, 0, 1), 0.7)
+	a.T = V(3, -2, 5)
+	b := RotationAxisAngle(V(0, 1, 0), 1.9)
+	b.T = V(-1, 4, 0)
+	ab := a.Compose(b)
+	inv := ab.Inverse()
+	p := V(0.3, -0.7, 2.2)
+	if got := inv.Apply(ab.Apply(p)); got.Dist(p) > 1e-10 {
+		t.Errorf("inverse of composition failed: %v", got)
+	}
+}
+
+func TestDegenerateAABBCube(t *testing.T) {
+	// A point box stays a point cube (zero side), but keeps its center.
+	b := NewAABB(V(2, 2, 2))
+	c := b.Cube()
+	if c.Center() != V(2, 2, 2) {
+		t.Errorf("degenerate cube center %v", c.Center())
+	}
+	if c.Size().MaxComponent() != 0 {
+		t.Errorf("degenerate cube size %v", c.Size())
+	}
+}

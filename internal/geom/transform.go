@@ -1,0 +1,83 @@
+package geom
+
+import "math"
+
+// Rigid is a rigid-body transform (rotation followed by translation),
+// x ↦ R·x + T. The paper (§IV-C) observes that for docking the same octree
+// can be reused at thousands of ligand poses by transforming it; Rigid is
+// the transform applied in that reuse path.
+type Rigid struct {
+	R [3][3]float64 // rotation matrix, row-major
+	T Vec3          // translation
+}
+
+// Identity returns the identity transform.
+func Identity() Rigid {
+	return Rigid{R: [3][3]float64{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}}
+}
+
+// Translation returns a pure translation by t.
+func Translation(t Vec3) Rigid {
+	r := Identity()
+	r.T = t
+	return r
+}
+
+// RotationAxisAngle returns the rotation about the (normalized) axis by
+// angle radians, using Rodrigues' formula.
+func RotationAxisAngle(axis Vec3, angle float64) Rigid {
+	u := axis.Unit()
+	c, s := math.Cos(angle), math.Sin(angle)
+	oc := 1 - c
+	return Rigid{R: [3][3]float64{
+		{c + u.X*u.X*oc, u.X*u.Y*oc - u.Z*s, u.X*u.Z*oc + u.Y*s},
+		{u.Y*u.X*oc + u.Z*s, c + u.Y*u.Y*oc, u.Y*u.Z*oc - u.X*s},
+		{u.Z*u.X*oc - u.Y*s, u.Z*u.Y*oc + u.X*s, c + u.Z*u.Z*oc},
+	}}
+}
+
+// Apply transforms a point: R·p + T.
+func (m Rigid) Apply(p Vec3) Vec3 {
+	return Vec3{
+		m.R[0][0]*p.X + m.R[0][1]*p.Y + m.R[0][2]*p.Z + m.T.X,
+		m.R[1][0]*p.X + m.R[1][1]*p.Y + m.R[1][2]*p.Z + m.T.Y,
+		m.R[2][0]*p.X + m.R[2][1]*p.Y + m.R[2][2]*p.Z + m.T.Z,
+	}
+}
+
+// ApplyVector transforms a direction (rotation only, no translation);
+// used for surface normals.
+func (m Rigid) ApplyVector(v Vec3) Vec3 {
+	return Vec3{
+		m.R[0][0]*v.X + m.R[0][1]*v.Y + m.R[0][2]*v.Z,
+		m.R[1][0]*v.X + m.R[1][1]*v.Y + m.R[1][2]*v.Z,
+		m.R[2][0]*v.X + m.R[2][1]*v.Y + m.R[2][2]*v.Z,
+	}
+}
+
+// Compose returns the transform that applies n first, then m: (m∘n)(p) =
+// m(n(p)).
+func (m Rigid) Compose(n Rigid) Rigid {
+	var out Rigid
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			out.R[i][j] = m.R[i][0]*n.R[0][j] + m.R[i][1]*n.R[1][j] + m.R[i][2]*n.R[2][j]
+		}
+	}
+	out.T = m.Apply(n.T)
+	return out
+}
+
+// Inverse returns the inverse transform. For a rigid transform the inverse
+// rotation is the transpose.
+func (m Rigid) Inverse() Rigid {
+	var out Rigid
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			out.R[i][j] = m.R[j][i]
+		}
+	}
+	out.T = out.ApplyVector(m.T).Scale(-1)
+	// ApplyVector used R^T·T; negate for -R^T·T.
+	return out
+}

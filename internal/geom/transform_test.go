@@ -1,0 +1,76 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestIdentityTransform(t *testing.T) {
+	p := V(1, -2, 3)
+	if got := Identity().Apply(p); got != p {
+		t.Errorf("Identity.Apply = %v", got)
+	}
+}
+
+func TestTranslation(t *testing.T) {
+	m := Translation(V(1, 2, 3))
+	if got := m.Apply(V(10, 10, 10)); got != V(11, 12, 13) {
+		t.Errorf("translate = %v", got)
+	}
+	// Vectors are unaffected by translation.
+	if got := m.ApplyVector(V(1, 0, 0)); got != V(1, 0, 0) {
+		t.Errorf("ApplyVector translated: %v", got)
+	}
+}
+
+func TestRotationPreservesLengthAndAngle(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for n := 0; n < 50; n++ {
+		axis := V(r.NormFloat64(), r.NormFloat64(), r.NormFloat64())
+		if axis.Norm() < 1e-6 {
+			continue
+		}
+		m := RotationAxisAngle(axis, r.Float64()*2*math.Pi)
+		a := V(r.NormFloat64(), r.NormFloat64(), r.NormFloat64())
+		b := V(r.NormFloat64(), r.NormFloat64(), r.NormFloat64())
+		ra, rb := m.Apply(a), m.Apply(b)
+		if !almostEqual(ra.Norm(), a.Norm(), 1e-12) {
+			t.Fatalf("rotation changed length: %v -> %v", a.Norm(), ra.Norm())
+		}
+		if !almostEqual(ra.Dot(rb), a.Dot(b), 1e-10) {
+			t.Fatalf("rotation changed dot: %v -> %v", a.Dot(b), ra.Dot(rb))
+		}
+	}
+}
+
+func TestRotationQuarterTurn(t *testing.T) {
+	m := RotationAxisAngle(V(0, 0, 1), math.Pi/2)
+	got := m.Apply(V(1, 0, 0))
+	if !vecAlmostEqual(got, V(0, 1, 0), 1e-14) {
+		t.Errorf("quarter turn of x̂ = %v, want ŷ", got)
+	}
+}
+
+func TestComposeAndInverse(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for n := 0; n < 50; n++ {
+		m := RotationAxisAngle(V(r.NormFloat64(), r.NormFloat64(), r.NormFloat64()).Add(V(1e-3, 0, 0)), r.Float64()*6)
+		m.T = V(r.NormFloat64(), r.NormFloat64(), r.NormFloat64())
+		nTr := RotationAxisAngle(V(r.NormFloat64(), 1, r.NormFloat64()), r.Float64()*6)
+		nTr.T = V(r.NormFloat64(), r.NormFloat64(), r.NormFloat64())
+
+		p := V(r.NormFloat64(), r.NormFloat64(), r.NormFloat64())
+		// Compose applies right operand first.
+		want := m.Apply(nTr.Apply(p))
+		got := m.Compose(nTr).Apply(p)
+		if !vecAlmostEqual(got, want, 1e-10) {
+			t.Fatalf("compose mismatch: %v vs %v", got, want)
+		}
+		// Inverse round-trips.
+		back := m.Inverse().Apply(m.Apply(p))
+		if !vecAlmostEqual(back, p, 1e-10) {
+			t.Fatalf("inverse round-trip: %v vs %v", back, p)
+		}
+	}
+}

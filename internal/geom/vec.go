@@ -1,0 +1,84 @@
+// Package geom provides the small fixed-dimension geometry types used
+// throughout the library: 3-vectors, axis-aligned bounding boxes and rigid
+// transforms. Everything is value-based and allocation-free so the hot
+// treecode loops can use it without GC pressure.
+package geom
+
+import "math"
+
+// Vec3 is a 3-component double-precision vector. It is used for atom
+// centers, surface points, and surface normals.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// V constructs a Vec3 from its components.
+func V(x, y, z float64) Vec3 { return Vec3{x, y, z} }
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns v scaled by s.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{v.X * s, v.Y * s, v.Z * s} }
+
+// Dot returns the dot product v · w.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the cross product v × w.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		v.Y*w.Z - v.Z*w.Y,
+		v.Z*w.X - v.X*w.Z,
+		v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Norm2 returns the squared Euclidean norm |v|².
+func (v Vec3) Norm2() float64 { return v.Dot(v) }
+
+// Norm returns the Euclidean norm |v|.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.Norm2()) }
+
+// Dist returns the Euclidean distance between v and w.
+func (v Vec3) Dist(w Vec3) float64 { return v.Sub(w).Norm() }
+
+// Dist2 returns the squared Euclidean distance between v and w.
+func (v Vec3) Dist2(w Vec3) float64 { return v.Sub(w).Norm2() }
+
+// Unit returns v normalized to unit length. The zero vector is returned
+// unchanged.
+func (v Vec3) Unit() Vec3 {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// Lerp returns the linear interpolation (1-t)·v + t·w.
+func (v Vec3) Lerp(w Vec3, t float64) Vec3 {
+	return Vec3{
+		v.X + t*(w.X-v.X),
+		v.Y + t*(w.Y-v.Y),
+		v.Z + t*(w.Z-v.Z),
+	}
+}
+
+// MaxComponent returns the largest component of v.
+func (v Vec3) MaxComponent() float64 { return math.Max(v.X, math.Max(v.Y, v.Z)) }
+
+// MinComponent returns the smallest component of v.
+func (v Vec3) MinComponent() float64 { return math.Min(v.X, math.Min(v.Y, v.Z)) }
+
+// Abs returns the component-wise absolute value of v.
+func (v Vec3) Abs() Vec3 { return Vec3{math.Abs(v.X), math.Abs(v.Y), math.Abs(v.Z)} }
+
+// IsFinite reports whether all components are finite (no NaN/Inf).
+func (v Vec3) IsFinite() bool {
+	return !math.IsNaN(v.X) && !math.IsInf(v.X, 0) &&
+		!math.IsNaN(v.Y) && !math.IsInf(v.Y, 0) &&
+		!math.IsNaN(v.Z) && !math.IsInf(v.Z, 0)
+}

@@ -1,0 +1,140 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func vecAlmostEqual(a, b Vec3, tol float64) bool {
+	return almostEqual(a.X, b.X, tol) && almostEqual(a.Y, b.Y, tol) && almostEqual(a.Z, b.Z, tol)
+}
+
+func TestVecBasicOps(t *testing.T) {
+	a := V(1, 2, 3)
+	b := V(4, -5, 6)
+	if got := a.Add(b); got != V(5, -3, 9) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != V(-3, 7, -3) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != V(2, 4, 6) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Dot(b); got != 1*4-2*5+3*6 {
+		t.Errorf("Dot = %v", got)
+	}
+}
+
+func TestCrossOrthogonality(t *testing.T) {
+	a := V(1, 2, 3)
+	b := V(-2, 0.5, 4)
+	c := a.Cross(b)
+	if math.Abs(c.Dot(a)) > 1e-12 || math.Abs(c.Dot(b)) > 1e-12 {
+		t.Errorf("cross product not orthogonal: %v", c)
+	}
+	// |a×b|² + (a·b)² = |a|²|b|² (Lagrange identity)
+	lhs := c.Norm2() + a.Dot(b)*a.Dot(b)
+	rhs := a.Norm2() * b.Norm2()
+	if !almostEqual(lhs, rhs, 1e-12) {
+		t.Errorf("Lagrange identity violated: %v vs %v", lhs, rhs)
+	}
+}
+
+func TestNormAndDist(t *testing.T) {
+	if got := V(3, 4, 0).Norm(); got != 5 {
+		t.Errorf("Norm = %v", got)
+	}
+	if got := V(1, 1, 1).Dist(V(2, 2, 2)); !almostEqual(got, math.Sqrt(3), 1e-14) {
+		t.Errorf("Dist = %v", got)
+	}
+}
+
+func TestUnit(t *testing.T) {
+	u := V(0.3, -7, 2.2).Unit()
+	if !almostEqual(u.Norm(), 1, 1e-14) {
+		t.Errorf("unit norm = %v", u.Norm())
+	}
+	if z := (Vec3{}).Unit(); z != (Vec3{}) {
+		t.Errorf("zero unit = %v", z)
+	}
+}
+
+func TestLerpEndpoints(t *testing.T) {
+	a, b := V(1, 2, 3), V(-4, 0, 9)
+	if got := a.Lerp(b, 0); got != a {
+		t.Errorf("Lerp(0) = %v", got)
+	}
+	if got := a.Lerp(b, 1); !vecAlmostEqual(got, b, 1e-15) {
+		t.Errorf("Lerp(1) = %v", got)
+	}
+	mid := a.Lerp(b, 0.5)
+	if !vecAlmostEqual(mid, a.Add(b).Scale(0.5), 1e-15) {
+		t.Errorf("Lerp(0.5) = %v", mid)
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !V(1, 2, 3).IsFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	if V(math.NaN(), 0, 0).IsFinite() || V(0, math.Inf(1), 0).IsFinite() {
+		t.Error("non-finite vector reported finite")
+	}
+}
+
+// Property: the triangle inequality holds for Dist.
+func TestTriangleInequalityProperty(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz, cx, cy, cz float64) bool {
+		if anyBad(ax, ay, az, bx, by, bz, cx, cy, cz) {
+			return true
+		}
+		a, b, c := V(ax, ay, az), V(bx, by, bz), V(cx, cy, cz)
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-9*(1+a.Norm()+b.Norm()+c.Norm())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Dot is bilinear in its first argument.
+func TestDotBilinearProperty(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz, cx, cy, cz, s float64) bool {
+		if anyBad(ax, ay, az, bx, by, bz, cx, cy, cz, s) {
+			return true
+		}
+		a, b, c := V(ax, ay, az), V(bx, by, bz), V(cx, cy, cz)
+		lhs := a.Scale(s).Add(b).Dot(c)
+		rhs := s*a.Dot(c) + b.Dot(c)
+		scale := 1 + math.Abs(lhs) + math.Abs(rhs)
+		return math.Abs(lhs-rhs) <= 1e-9*scale
+	}
+	cfg := &quick.Config{
+		MaxCount: 500,
+		Rand:     rand.New(rand.NewSource(2)),
+		Values: func(values []reflect.Value, r *rand.Rand) {
+			for i := range values {
+				values[i] = reflect.ValueOf(r.Float64()*200 - 100)
+			}
+		},
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func anyBad(xs ...float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e8 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,79 @@
+package molecule
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"octgb/internal/geom"
+)
+
+// WritePQR writes the molecule in a PQR-style text format:
+//
+//	ATOM  serial  name  res  resSeq  x y z  charge radius
+//
+// The fields the library does not track (atom/residue names) are emitted as
+// placeholders so standard tools can still parse the file.
+func WritePQR(w io.Writer, m *Molecule) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "REMARK  octgb molecule %s (%d atoms)\n", m.Name, m.N()); err != nil {
+		return err
+	}
+	for i, a := range m.Atoms {
+		_, err := fmt.Fprintf(bw, "ATOM %6d  X   MOL %5d    %8.3f %8.3f %8.3f %8.4f %6.3f\n",
+			i+1, i+1, a.Pos.X, a.Pos.Y, a.Pos.Z, a.Charge, a.Radius)
+		if err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(bw, "END"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadPQR parses a PQR-style file written by WritePQR (and tolerates the
+// common whitespace-separated PQR variant: the final two floats on each ATOM
+// line are charge and radius; x,y,z are the three floats before them).
+func ReadPQR(r io.Reader, name string) (*Molecule, error) {
+	m := &Molecule{Name: name}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(text, "ATOM") && !strings.HasPrefix(text, "HETATM") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 6 {
+			return nil, fmt.Errorf("pqr line %d: too few fields", line)
+		}
+		// The last 5 numeric fields are x y z charge radius.
+		nums := make([]float64, 0, len(fields))
+		for _, f := range fields[1:] {
+			if v, err := strconv.ParseFloat(f, 64); err == nil {
+				nums = append(nums, v)
+			}
+		}
+		if len(nums) < 5 {
+			return nil, fmt.Errorf("pqr line %d: expected ≥5 numeric fields, got %d", line, len(nums))
+		}
+		tail := nums[len(nums)-5:]
+		m.Atoms = append(m.Atoms, Atom{
+			Pos:    geom.V(tail[0], tail[1], tail[2]),
+			Charge: tail[3],
+			Radius: tail[4],
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,111 @@
+package molecule
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"octgb/internal/geom"
+)
+
+// Property: every generated protein validates, has the requested size, and
+// near-integer total charge, for arbitrary sizes and seeds.
+func TestPropertyGeneratedProteinsValid(t *testing.T) {
+	f := func(n int, seed int64) bool {
+		n = 1 + abs(n)%800
+		m := GenerateProtein("p", n, seed)
+		if m.N() != n || m.Validate() != nil {
+			return false
+		}
+		q := m.TotalCharge()
+		return math.Abs(q-math.Round(q)) < 1e-9 && math.Abs(q) <= 5
+	}
+	if err := quick.Check(f, quickCfg(51)); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: capsids are hollow — no atom sits near the centroid.
+func TestPropertyCapsidsHollow(t *testing.T) {
+	f := func(seed int64) bool {
+		// Thickness chosen so the shell radius (≈22 Å) clearly exceeds
+		// the wall thickness — thicker walls at this size degenerate into
+		// a solid ball.
+		m := GenerateCapsid("c", 3000, 5, seed)
+		if m.Validate() != nil {
+			return false
+		}
+		c := m.Centroid()
+		minR := math.Inf(1)
+		for _, a := range m.Atoms {
+			if d := a.Pos.Dist(c); d < minR {
+				minR = d
+			}
+		}
+		return minR > 5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10, Rand: rand.New(rand.NewSource(52))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: merging preserves atom counts and total charge exactly.
+func TestPropertyMergeConserves(t *testing.T) {
+	f := func(n1, n2 int, s1, s2 int64) bool {
+		n1, n2 = 1+abs(n1)%200, 1+abs(n2)%200
+		a := GenerateProtein("a", n1, s1)
+		b := GenerateProtein("b", n2, s2)
+		m := Merge("ab", a, b)
+		return m.N() == n1+n2 &&
+			math.Abs(m.TotalCharge()-(a.TotalCharge()+b.TotalCharge())) < 1e-9
+	}
+	if err := quick.Check(f, quickCfg(53)); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: rigid transforms preserve the bounding-box diagonal.
+func TestPropertyTransformPreservesExtent(t *testing.T) {
+	f := func(seed int64, angle, tx, ty, tz float64) bool {
+		m := GenerateProtein("t", 100, seed)
+		tr := rotTranslate(angle, tx, ty, tz)
+		d0 := 2 * m.Bounds().HalfDiagonal()
+		d1 := 2 * m.Transform(tr).Bounds().HalfDiagonal()
+		// The box is axis-aligned so its diagonal can change under
+		// rotation, but the max pairwise distance cannot; check a robust
+		// proxy: diagonal within sqrt(3) of the original.
+		return d1 < d0*1.8 && d1 > d0/1.8
+	}
+	cfg := &quick.Config{
+		MaxCount: 30,
+		Rand:     rand.New(rand.NewSource(54)),
+		Values: func(v []reflect.Value, r *rand.Rand) {
+			v[0] = reflect.ValueOf(r.Int63())
+			for i := 1; i < len(v); i++ {
+				v[i] = reflect.ValueOf(r.NormFloat64() * 3)
+			}
+		},
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func rotTranslate(angle, tx, ty, tz float64) geom.Rigid {
+	tr := geom.RotationAxisAngle(geom.V(1, 2, 3), angle)
+	tr.T = geom.V(tx, ty, tz)
+	return tr
+}
+
+func quickCfg(seed int64) *quick.Config {
+	return &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(seed))}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

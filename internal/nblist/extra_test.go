@@ -1,0 +1,99 @@
+package nblist
+
+import (
+	"math/rand"
+	"testing"
+
+	"octgb/internal/geom"
+)
+
+func TestCellListExcludeSelf(t *testing.T) {
+	pts := randomPts(100, 21, 10)
+	cl := NewCellList(pts, 50) // cutoff covers everything
+	count := 0
+	cl.ForEachNeighbor(7, 50, func(j int32) {
+		if j == 7 {
+			t.Fatal("self returned as neighbor")
+		}
+		count++
+	})
+	if count != 99 {
+		t.Errorf("found %d of 99 neighbors", count)
+	}
+}
+
+func TestForEachInBallNoExclusion(t *testing.T) {
+	pts := randomPts(50, 22, 5)
+	cl := NewCellList(pts, 3)
+	count := 0
+	cl.ForEachInBall(pts[0], 100, -1, func(int32) { count++ })
+	if count != 50 {
+		t.Errorf("ball over everything found %d of 50", count)
+	}
+}
+
+func TestCellListSinglePoint(t *testing.T) {
+	pts := []geom.Vec3{geom.V(1, 1, 1)}
+	cl := NewCellList(pts, 2)
+	if n := cl.ForEachNeighbor(0, 2, func(int32) { t.Fatal("self as neighbor") }); n == 0 {
+		t.Error("no candidate tests counted")
+	}
+}
+
+func TestCellListZeroCellSize(t *testing.T) {
+	pts := randomPts(10, 23, 5)
+	cl := NewCellList(pts, 0) // degenerate: must not crash
+	found := 0
+	cl.ForEachInBall(pts[0], 1e9, -1, func(int32) { found++ })
+	// Degenerate lists are allowed to find nothing (no grid), but must be
+	// safe to query.
+	_ = found
+}
+
+func TestNBListZeroCutoff(t *testing.T) {
+	pts := randomPts(30, 24, 5)
+	nb := Build(pts, 1e-6)
+	if nb.NumPairs() != 0 {
+		t.Errorf("tiny cutoff found %d pairs", nb.NumPairs())
+	}
+}
+
+func TestCellListClusteredPoints(t *testing.T) {
+	// All points in one cell: queries must still be exact.
+	r := rand.New(rand.NewSource(25))
+	pts := make([]geom.Vec3, 200)
+	for i := range pts {
+		pts[i] = geom.V(r.Float64()*0.1, r.Float64()*0.1, r.Float64()*0.1)
+	}
+	cl := NewCellList(pts, 10)
+	for i := 0; i < 10; i++ {
+		got := 0
+		cl.ForEachNeighbor(i, 0.05, func(int32) { got++ })
+		want := len(bruteNeighbors(pts, i, 0.05))
+		if got != want {
+			t.Fatalf("clustered atom %d: %d vs %d", i, got, want)
+		}
+	}
+}
+
+func TestNBListMemoryLinearInN(t *testing.T) {
+	// At fixed cutoff, nblist memory is linear in N (the paper concedes
+	// this; the cubic growth is in the cutoff).
+	mk := func(n int) int64 {
+		return Build(randomPts(n, 26, cubeSideFor(n)), 4).MemoryBytes()
+	}
+	m1, m2 := mk(2000), mk(4000)
+	ratio := float64(m2) / float64(m1)
+	if ratio < 1.5 || ratio > 3 {
+		t.Errorf("memory ratio %v for 2x points at fixed density", ratio)
+	}
+}
+
+// cubeSideFor keeps density constant as n grows.
+func cubeSideFor(n int) float64 {
+	side := 1.0
+	for side*side*side < float64(n)/2 {
+		side *= 1.26
+	}
+	return side * 10
+}

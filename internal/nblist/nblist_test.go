@@ -1,0 +1,134 @@
+package nblist
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"octgb/internal/geom"
+	"octgb/internal/molecule"
+)
+
+func randomPts(n int, seed int64, scale float64) []geom.Vec3 {
+	r := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Vec3, n)
+	for i := range pts {
+		pts[i] = geom.V(r.Float64()*scale, r.Float64()*scale, r.Float64()*scale)
+	}
+	return pts
+}
+
+// bruteNeighbors is the reference implementation.
+func bruteNeighbors(pts []geom.Vec3, i int, cutoff float64) []int32 {
+	var out []int32
+	for j := range pts {
+		if j != i && pts[j].Dist(pts[i]) <= cutoff {
+			out = append(out, int32(j))
+		}
+	}
+	return out
+}
+
+func TestCellListMatchesBruteForce(t *testing.T) {
+	pts := randomPts(500, 1, 30)
+	for _, cutoff := range []float64{2, 5, 12, 40} {
+		cl := NewCellList(pts, cutoff)
+		for i := 0; i < 50; i++ {
+			var got []int32
+			cl.ForEachNeighbor(i, cutoff, func(j int32) { got = append(got, j) })
+			want := bruteNeighbors(pts, i, cutoff)
+			sort.Slice(got, func(a, b int) bool { return got[a] < got[b] })
+			if len(got) != len(want) {
+				t.Fatalf("cutoff %v atom %d: %d neighbors, want %d", cutoff, i, len(got), len(want))
+			}
+			for k := range got {
+				if got[k] != want[k] {
+					t.Fatalf("cutoff %v atom %d: neighbor lists differ", cutoff, i)
+				}
+			}
+		}
+	}
+}
+
+func TestCellListSmallerCellThanCutoff(t *testing.T) {
+	// Cell edge smaller than query cutoff must still find everything
+	// (reach > 1 cells).
+	pts := randomPts(300, 2, 20)
+	cl := NewCellList(pts, 3)
+	cutoff := 10.0
+	for i := 0; i < 20; i++ {
+		count := 0
+		cl.ForEachNeighbor(i, cutoff, func(int32) { count++ })
+		if want := len(bruteNeighbors(pts, i, cutoff)); count != want {
+			t.Fatalf("atom %d: %d vs %d", i, count, want)
+		}
+	}
+}
+
+func TestCellListEmpty(t *testing.T) {
+	cl := NewCellList(nil, 5)
+	n := cl.ForEachInBall(geom.V(0, 0, 0), 10, -1, func(int32) {
+		t.Error("found neighbor in empty list")
+	})
+	if n != 0 {
+		t.Errorf("tests on empty list: %d", n)
+	}
+}
+
+func TestNBListSymmetric(t *testing.T) {
+	pts := randomPts(400, 3, 25)
+	nb := Build(pts, 6)
+	// Neighbor relation is symmetric.
+	has := func(i int, j int32) bool {
+		for _, k := range nb.Pairs[i] {
+			if k == j {
+				return true
+			}
+		}
+		return false
+	}
+	for i, lst := range nb.Pairs {
+		for _, j := range lst {
+			if !has(int(j), int32(i)) {
+				t.Fatalf("pair (%d,%d) not symmetric", i, j)
+			}
+		}
+	}
+}
+
+func TestNBListMemoryGrowsCubicallyWithCutoff(t *testing.T) {
+	// The paper's core argument against nblists. Dense uniform points:
+	// doubling the cutoff should grow memory ≈8× (within geometry slack).
+	m := molecule.GenerateProtein("nb", 4000, 9)
+	pts := make([]geom.Vec3, m.N())
+	for i := range m.Atoms {
+		pts[i] = m.Atoms[i].Pos
+	}
+	nb1 := Build(pts, 4)
+	nb2 := Build(pts, 8)
+	ratio := float64(nb2.MemoryBytes()) / float64(nb1.MemoryBytes())
+	if ratio < 4 || ratio > 10 {
+		t.Errorf("memory ratio for 2x cutoff: %v (want ≈8)", ratio)
+	}
+}
+
+func TestNBListBuildTestsCounted(t *testing.T) {
+	pts := randomPts(200, 4, 15)
+	nb := Build(pts, 5)
+	if nb.BuildTests < nb.NumPairs() {
+		t.Errorf("build tests %d < stored pairs %d", nb.BuildTests, nb.NumPairs())
+	}
+}
+
+func BenchmarkNBListBuild4000(b *testing.B) {
+	m := molecule.GenerateProtein("nb", 4000, 1)
+	pts := make([]geom.Vec3, m.N())
+	for i := range m.Atoms {
+		pts[i] = m.Atoms[i].Pos
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(pts, 10)
+	}
+}

@@ -1,0 +1,305 @@
+// Package octree implements the linearized, cache-friendly octree the paper
+// uses in place of nonbonded lists. A tree is built once over a point set
+// (atom centers or surface quadrature points) and then reused for any
+// approximation parameter — unlike nblists, its size is independent of any
+// cutoff (paper §II, "Octrees vs. Nblists").
+//
+// The build reorders the points so every node owns a contiguous range of a
+// single flat array (Morton-style depth-first order). Treecode traversals
+// therefore stream leaves sequentially, which is what makes the structure
+// cache-friendly.
+package octree
+
+import (
+	"fmt"
+	"math"
+
+	"octgb/internal/geom"
+)
+
+// NoChild marks an absent child slot.
+const NoChild = int32(-1)
+
+// DefaultLeafSize is the default maximum number of points per leaf. The
+// paper's shared-memory predecessor ([6]) uses small constant-size leaves;
+// 16 balances traversal depth against exact-interaction cost.
+const DefaultLeafSize = 16
+
+// maxDepth bounds subdivision for degenerate inputs (coincident points).
+const maxDepth = 48
+
+// Node is one octree node. Points under the node occupy the contiguous
+// range [Start, Start+Count) of the tree's reordered point array.
+type Node struct {
+	Box      geom.AABB // the node's cube
+	Center   geom.Vec3 // geometric centroid of the points under the node
+	Radius   float64   // radius of the ball centered at Center enclosing all points
+	Start    int32     // first point index (tree order)
+	Count    int32     // number of points under the node
+	Children [8]int32  // child node indices, NoChild where absent
+	Parent   int32     // parent node index, NoChild for the root
+	Leaf     bool
+}
+
+// Tree is a linearized octree over a point set.
+type Tree struct {
+	Nodes    []Node
+	Points   []geom.Vec3 // points in tree (depth-first) order
+	Perm     []int32     // Perm[i] = original index of Points[i]
+	LeafIdx  []int32     // node indices of leaves, in tree order
+	LeafSize int
+}
+
+// Build constructs an octree over pts with the given maximum leaf size
+// (≤0 selects DefaultLeafSize). The input slice is not modified.
+func Build(pts []geom.Vec3, leafSize int) *Tree {
+	if leafSize <= 0 {
+		leafSize = DefaultLeafSize
+	}
+	t := &Tree{
+		Points:   make([]geom.Vec3, len(pts)),
+		Perm:     make([]int32, len(pts)),
+		LeafSize: leafSize,
+	}
+	copy(t.Points, pts)
+	for i := range t.Perm {
+		t.Perm[i] = int32(i)
+	}
+	if len(pts) == 0 {
+		return t
+	}
+	root := geom.NewAABB(pts...).Cube()
+	// Inflate degenerate root boxes so OctantIndex is well-defined.
+	if root.Size().MaxComponent() == 0 {
+		root = geom.AABB{
+			Min: root.Min.Sub(geom.V(0.5, 0.5, 0.5)),
+			Max: root.Max.Add(geom.V(0.5, 0.5, 0.5)),
+		}
+	}
+	t.Nodes = make([]Node, 0, 2*len(pts)/leafSize+8)
+	t.build(root, 0, int32(len(pts)), 0, NoChild)
+	t.computeGeometry(0)
+	for i := range t.Nodes {
+		if t.Nodes[i].Leaf {
+			t.LeafIdx = append(t.LeafIdx, int32(i))
+		}
+	}
+	return t
+}
+
+// build recursively subdivides [start, start+count) and returns the node
+// index. Points are partitioned in place into octant buckets.
+func (t *Tree) build(box geom.AABB, start, count int32, depth int, parent int32) int32 {
+	idx := int32(len(t.Nodes))
+	t.Nodes = append(t.Nodes, Node{
+		Box:      box,
+		Start:    start,
+		Count:    count,
+		Parent:   parent,
+		Children: [8]int32{NoChild, NoChild, NoChild, NoChild, NoChild, NoChild, NoChild, NoChild},
+	})
+	if count <= int32(t.LeafSize) || depth >= maxDepth {
+		t.Nodes[idx].Leaf = true
+		return idx
+	}
+
+	// Count points per octant.
+	var cnt [8]int32
+	for i := start; i < start+count; i++ {
+		cnt[box.OctantIndex(t.Points[i])]++
+	}
+	// If all points land in one octant of a tiny box, give up (coincident).
+	if box.Size().MaxComponent() < 1e-9 {
+		t.Nodes[idx].Leaf = true
+		return idx
+	}
+
+	// Prefix sums → bucket offsets.
+	var off, next [8]int32
+	off[0] = start
+	for o := 1; o < 8; o++ {
+		off[o] = off[o-1] + cnt[o-1]
+	}
+	next = off
+
+	// In-place cycle sort into buckets.
+	for o := 0; o < 8; o++ {
+		end := off[o] + cnt[o]
+		for i := next[o]; i < end; {
+			p := t.Points[i]
+			dst := box.OctantIndex(p)
+			if dst == o {
+				i++
+				next[o] = i
+				continue
+			}
+			j := next[dst]
+			t.Points[i], t.Points[j] = t.Points[j], t.Points[i]
+			t.Perm[i], t.Perm[j] = t.Perm[j], t.Perm[i]
+			next[dst]++
+		}
+	}
+
+	// Recurse into non-empty octants in order (gives Morton layout).
+	for o := 0; o < 8; o++ {
+		if cnt[o] == 0 {
+			continue
+		}
+		child := t.build(box.Octant(o), off[o], cnt[o], depth+1, idx)
+		t.Nodes[idx].Children[o] = child
+	}
+	return idx
+}
+
+// computeGeometry fills Center (centroid) and Radius (enclosing ball about
+// the centroid) bottom-up for the subtree rooted at n.
+func (t *Tree) computeGeometry(n int32) {
+	nd := &t.Nodes[n]
+	var c geom.Vec3
+	for i := nd.Start; i < nd.Start+nd.Count; i++ {
+		c = c.Add(t.Points[i])
+	}
+	if nd.Count > 0 {
+		c = c.Scale(1 / float64(nd.Count))
+	}
+	nd.Center = c
+	var r2 float64
+	for i := nd.Start; i < nd.Start+nd.Count; i++ {
+		if d := t.Points[i].Dist2(c); d > r2 {
+			r2 = d
+		}
+	}
+	nd.Radius = math.Sqrt(r2)
+	for _, ch := range nd.Children {
+		if ch != NoChild {
+			t.computeGeometry(ch)
+		}
+	}
+}
+
+// Root returns the root node index (0) — valid only for non-empty trees.
+func (t *Tree) Root() int32 { return 0 }
+
+// NumLeaves returns the number of leaf nodes.
+func (t *Tree) NumLeaves() int { return len(t.LeafIdx) }
+
+// Leaves returns the leaf node indices in tree order.
+func (t *Tree) Leaves() []int32 { return t.LeafIdx }
+
+// PointRange returns the tree-order point index range [lo, hi) of node n.
+func (t *Tree) PointRange(n int32) (lo, hi int32) {
+	nd := &t.Nodes[n]
+	return nd.Start, nd.Start + nd.Count
+}
+
+// Depth returns the depth of node n (root = 0).
+func (t *Tree) Depth(n int32) int {
+	d := 0
+	for t.Nodes[n].Parent != NoChild {
+		n = t.Nodes[n].Parent
+		d++
+	}
+	return d
+}
+
+// Height returns the height of the tree (leaf depth maximum).
+func (t *Tree) Height() int {
+	h := 0
+	for _, l := range t.LeafIdx {
+		if d := t.Depth(l); d > h {
+			h = d
+		}
+	}
+	return h
+}
+
+// MemoryBytes estimates the memory footprint of the tree structure in
+// bytes; used by the replication-cost model (pure-MPI ranks each hold a
+// full copy, the paper's §IV-B memory argument).
+func (t *Tree) MemoryBytes() int64 {
+	const nodeBytes = int64(8*6+8*4+8*4+4+4+4+8) + 8 // struct estimate incl. padding
+	return int64(len(t.Nodes))*nodeBytes + int64(len(t.Points))*24 + int64(len(t.Perm))*4
+}
+
+// Transform returns a copy of the tree with the rigid transform applied to
+// every point, node center and node box. Radii are invariant under rigid
+// motion, so the expensive build is not repeated — the paper's §IV-C
+// docking-reuse observation.
+func (t *Tree) Transform(m geom.Rigid) *Tree {
+	out := &Tree{
+		Nodes:    make([]Node, len(t.Nodes)),
+		Points:   make([]geom.Vec3, len(t.Points)),
+		Perm:     t.Perm, // shared: the permutation is pose-independent
+		LeafIdx:  t.LeafIdx,
+		LeafSize: t.LeafSize,
+	}
+	for i, p := range t.Points {
+		out.Points[i] = m.Apply(p)
+	}
+	copy(out.Nodes, t.Nodes)
+	for i := range out.Nodes {
+		nd := &out.Nodes[i]
+		nd.Center = m.Apply(nd.Center)
+		// The transformed box is the AABB of the transformed cube corners;
+		// cheaper and sufficient: recompute from center ± radius. Treecode
+		// only uses Center and Radius, Box is advisory after transform.
+		r := geom.V(nd.Radius, nd.Radius, nd.Radius)
+		nd.Box = geom.AABB{Min: nd.Center.Sub(r), Max: nd.Center.Add(r)}
+	}
+	return out
+}
+
+// Validate checks the structural invariants of the tree and returns the
+// first violation: contiguous child ranges covering the parent, points
+// inside node boxes (pre-transform), enclosing-ball property, and a
+// permutation that is a bijection.
+func (t *Tree) Validate() error {
+	if len(t.Points) == 0 {
+		if len(t.Nodes) != 0 {
+			return fmt.Errorf("empty tree has %d nodes", len(t.Nodes))
+		}
+		return nil
+	}
+	seen := make([]bool, len(t.Perm))
+	for _, p := range t.Perm {
+		if p < 0 || int(p) >= len(t.Perm) || seen[p] {
+			return fmt.Errorf("perm is not a bijection at %d", p)
+		}
+		seen[p] = true
+	}
+	for i := range t.Nodes {
+		nd := &t.Nodes[i]
+		if nd.Start < 0 || nd.Start+nd.Count > int32(len(t.Points)) {
+			return fmt.Errorf("node %d range [%d,%d) out of bounds", i, nd.Start, nd.Start+nd.Count)
+		}
+		for j := nd.Start; j < nd.Start+nd.Count; j++ {
+			if d := t.Points[j].Dist(nd.Center); d > nd.Radius*(1+1e-12)+1e-12 {
+				return fmt.Errorf("node %d: point %d outside enclosing ball (%g > %g)", i, j, d, nd.Radius)
+			}
+		}
+		if nd.Leaf {
+			continue
+		}
+		// Children must tile the parent's range in order.
+		at := nd.Start
+		total := int32(0)
+		for _, ch := range nd.Children {
+			if ch == NoChild {
+				continue
+			}
+			c := &t.Nodes[ch]
+			if c.Start != at {
+				return fmt.Errorf("node %d: child %d starts at %d, want %d", i, ch, c.Start, at)
+			}
+			if c.Parent != int32(i) {
+				return fmt.Errorf("node %d: child %d has parent %d", i, ch, c.Parent)
+			}
+			at += c.Count
+			total += c.Count
+		}
+		if total != nd.Count {
+			return fmt.Errorf("node %d: children cover %d of %d points", i, total, nd.Count)
+		}
+	}
+	return nil
+}

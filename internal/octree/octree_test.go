@@ -1,0 +1,195 @@
+package octree
+
+import (
+	"math/rand"
+	"testing"
+
+	"octgb/internal/geom"
+)
+
+func randomPoints(n int, seed int64) []geom.Vec3 {
+	r := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Vec3, n)
+	for i := range pts {
+		pts[i] = geom.V(r.NormFloat64()*20, r.NormFloat64()*20, r.NormFloat64()*20)
+	}
+	return pts
+}
+
+func TestBuildEmpty(t *testing.T) {
+	tr := Build(nil, 0)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumLeaves() != 0 {
+		t.Error("empty tree has leaves")
+	}
+}
+
+func TestBuildSinglePoint(t *testing.T) {
+	tr := Build([]geom.Vec3{geom.V(1, 2, 3)}, 0)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Nodes) != 1 || !tr.Nodes[0].Leaf {
+		t.Fatalf("single point tree: %d nodes", len(tr.Nodes))
+	}
+	if tr.Nodes[0].Radius != 0 {
+		t.Errorf("radius = %v", tr.Nodes[0].Radius)
+	}
+}
+
+func TestBuildCoincidentPoints(t *testing.T) {
+	pts := make([]geom.Vec3, 100)
+	for i := range pts {
+		pts[i] = geom.V(1, 1, 1)
+	}
+	tr := Build(pts, 4)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Must terminate (maxDepth or degenerate-box guard) with all points in leaves.
+	var total int32
+	for _, l := range tr.Leaves() {
+		total += tr.Nodes[l].Count
+	}
+	if total != 100 {
+		t.Errorf("leaves cover %d points", total)
+	}
+}
+
+func TestBuildInvariants(t *testing.T) {
+	for _, n := range []int{1, 2, 16, 17, 100, 5000} {
+		pts := randomPoints(n, int64(n))
+		tr := Build(pts, 16)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// Root covers everything.
+		if tr.Nodes[0].Count != int32(n) {
+			t.Fatalf("n=%d: root count %d", n, tr.Nodes[0].Count)
+		}
+		// Leaf sizes bounded.
+		for _, l := range tr.Leaves() {
+			if c := tr.Nodes[l].Count; c > 16 || c == 0 {
+				t.Fatalf("n=%d: leaf size %d", n, c)
+			}
+		}
+		// Perm reorders correctly: Points[i] == original[Perm[i]].
+		for i, p := range tr.Points {
+			if pts[tr.Perm[i]] != p {
+				t.Fatalf("n=%d: perm broken at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestLeavesPartitionPoints(t *testing.T) {
+	pts := randomPoints(3000, 8)
+	tr := Build(pts, 12)
+	covered := make([]bool, len(pts))
+	for _, l := range tr.Leaves() {
+		lo, hi := tr.PointRange(l)
+		for i := lo; i < hi; i++ {
+			if covered[i] {
+				t.Fatalf("point %d in two leaves", i)
+			}
+			covered[i] = true
+		}
+	}
+	for i, c := range covered {
+		if !c {
+			t.Fatalf("point %d not in any leaf", i)
+		}
+	}
+}
+
+func TestLinearMemoryIndependentOfParameter(t *testing.T) {
+	// The paper's key claim versus nblists: tree size is linear in N and
+	// does not depend on any approximation parameter/cutoff.
+	pts := randomPoints(4000, 4)
+	tr := Build(pts, 16)
+	perPoint := float64(tr.MemoryBytes()) / 4000
+	if perPoint > 400 {
+		t.Errorf("memory per point %v bytes too high", perPoint)
+	}
+	// Doubling N roughly doubles memory (within 3x slack for node granularity).
+	tr2 := Build(randomPoints(8000, 5), 16)
+	ratio := float64(tr2.MemoryBytes()) / float64(tr.MemoryBytes())
+	if ratio < 1.5 || ratio > 3 {
+		t.Errorf("memory ratio %v for 2x points", ratio)
+	}
+}
+
+func TestDepthAndHeight(t *testing.T) {
+	pts := randomPoints(2000, 6)
+	tr := Build(pts, 8)
+	h := tr.Height()
+	if h < 3 || h > 20 {
+		t.Errorf("height %d implausible for 2000 points", h)
+	}
+	if tr.Depth(tr.Root()) != 0 {
+		t.Error("root depth nonzero")
+	}
+}
+
+func TestTransformPreservesStructure(t *testing.T) {
+	pts := randomPoints(500, 10)
+	tr := Build(pts, 16)
+	m := geom.RotationAxisAngle(geom.V(1, 1, 0), 0.7)
+	m.T = geom.V(5, -3, 2)
+	tt := tr.Transform(m)
+	// Radii unchanged, centers moved, enclosing-ball still valid.
+	for i := range tr.Nodes {
+		if tt.Nodes[i].Radius != tr.Nodes[i].Radius {
+			t.Fatalf("node %d radius changed", i)
+		}
+		nd := &tt.Nodes[i]
+		for j := nd.Start; j < nd.Start+nd.Count; j++ {
+			if d := tt.Points[j].Dist(nd.Center); d > nd.Radius+1e-9 {
+				t.Fatalf("node %d: transformed point escapes ball (%g > %g)", i, d, nd.Radius)
+			}
+		}
+	}
+}
+
+func TestChildrenOrderingGivesContiguousRanges(t *testing.T) {
+	pts := randomPoints(1000, 12)
+	tr := Build(pts, 16)
+	for i := range tr.Nodes {
+		nd := &tr.Nodes[i]
+		if nd.Leaf {
+			continue
+		}
+		prevEnd := nd.Start
+		for _, ch := range nd.Children {
+			if ch == NoChild {
+				continue
+			}
+			c := tr.Nodes[ch]
+			if c.Start != prevEnd {
+				t.Fatalf("node %d children not contiguous", i)
+			}
+			prevEnd = c.Start + c.Count
+		}
+		if prevEnd != nd.Start+nd.Count {
+			t.Fatalf("node %d children don't end at parent end", i)
+		}
+	}
+}
+
+func BenchmarkBuild10k(b *testing.B) {
+	pts := randomPoints(10000, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Build(pts, 16)
+	}
+}
+
+func BenchmarkBuild100k(b *testing.B) {
+	pts := randomPoints(100000, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Build(pts, 16)
+	}
+}

@@ -1,0 +1,77 @@
+// Package partition implements the static work-division schemes of the
+// paper's §IV-A: contiguous even segments of leaves (node-based division)
+// or atoms (atom-based division) assigned to ranks, plus a weighted variant
+// that balances measured work rather than item counts.
+package partition
+
+// Segment is a half-open index range [Lo, Hi).
+type Segment struct {
+	Lo, Hi int
+}
+
+// Len returns the number of items in the segment.
+func (s Segment) Len() int { return s.Hi - s.Lo }
+
+// Even splits n items into p contiguous segments whose sizes differ by at
+// most one (the paper's "divide evenly among processes"). Ranks beyond n
+// receive empty segments.
+func Even(n, p int) []Segment {
+	if p < 1 {
+		p = 1
+	}
+	out := make([]Segment, p)
+	base := n / p
+	rem := n % p
+	at := 0
+	for r := 0; r < p; r++ {
+		sz := base
+		if r < rem {
+			sz++
+		}
+		out[r] = Segment{at, at + sz}
+		at += sz
+	}
+	return out
+}
+
+// ForRank returns rank r's segment of Even(n, p).
+func ForRank(n, p, r int) Segment { return Even(n, p)[r] }
+
+// WeightedEven splits items (with the given non-negative weights) into p
+// contiguous segments of approximately equal total weight using a greedy
+// sweep: a segment closes once it reaches the ideal share. This is the
+// "explicit static load balancing" refinement for non-uniform leaves.
+func WeightedEven(weights []float64, p int) []Segment {
+	n := len(weights)
+	if p < 1 {
+		p = 1
+	}
+	out := make([]Segment, p)
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	at := 0
+	var used float64
+	for r := 0; r < p; r++ {
+		lo := at
+		// Remaining ideal share for this and subsequent ranks.
+		share := (total - used) / float64(p-r)
+		var acc float64
+		for at < n && (acc < share || p-r == 1) {
+			// Leave at least one item per remaining rank when possible.
+			if n-at <= p-r-1 {
+				break
+			}
+			acc += weights[at]
+			at++
+		}
+		used += acc
+		out[r] = Segment{lo, at}
+	}
+	out[p-1].Hi = n
+	if p >= 2 && out[p-1].Lo > n {
+		out[p-1].Lo = n
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func checkCover(t *testing.T, segs []Segment, n int) {
+	t.Helper()
+	at := 0
+	for i, s := range segs {
+		if s.Lo != at {
+			t.Fatalf("segment %d starts at %d, want %d", i, s.Lo, at)
+		}
+		if s.Hi < s.Lo {
+			t.Fatalf("segment %d inverted", i)
+		}
+		at = s.Hi
+	}
+	if at != n {
+		t.Fatalf("segments end at %d, want %d", at, n)
+	}
+}
+
+func TestEvenCoversAndBalances(t *testing.T) {
+	for _, tc := range []struct{ n, p int }{{10, 3}, {0, 4}, {7, 7}, {5, 8}, {100, 1}, {144, 12}} {
+		segs := Even(tc.n, tc.p)
+		if len(segs) != tc.p {
+			t.Fatalf("n=%d p=%d: %d segments", tc.n, tc.p, len(segs))
+		}
+		checkCover(t, segs, tc.n)
+		min, max := tc.n, 0
+		for _, s := range segs {
+			if s.Len() < min {
+				min = s.Len()
+			}
+			if s.Len() > max {
+				max = s.Len()
+			}
+		}
+		if max-min > 1 {
+			t.Errorf("n=%d p=%d: sizes differ by %d", tc.n, tc.p, max-min)
+		}
+	}
+}
+
+func TestForRank(t *testing.T) {
+	if got := ForRank(10, 3, 1); got != (Segment{4, 7}) {
+		t.Errorf("ForRank = %+v", got)
+	}
+}
+
+func TestWeightedEvenCovers(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		n := r.Intn(200)
+		p := 1 + r.Intn(10)
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = r.Float64() * 10
+		}
+		segs := WeightedEven(w, p)
+		if len(segs) != p {
+			t.Fatalf("%d segments, want %d", len(segs), p)
+		}
+		checkCover(t, segs, n)
+	}
+}
+
+func TestWeightedEvenBalancesSkewedWeights(t *testing.T) {
+	// Strongly front-loaded weights: the naive count split would give
+	// rank 0 nearly all the work; the weighted split must do much better.
+	n, p := 1000, 4
+	w := make([]float64, n)
+	for i := range w {
+		if i < 100 {
+			w[i] = 50
+		} else {
+			w[i] = 1
+		}
+	}
+	var total float64
+	for _, x := range w {
+		total += x
+	}
+	segs := WeightedEven(w, p)
+	maxLoad := 0.0
+	for _, s := range segs {
+		var l float64
+		for i := s.Lo; i < s.Hi; i++ {
+			l += w[i]
+		}
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	ideal := total / float64(p)
+	if maxLoad > ideal*1.5 {
+		t.Errorf("weighted split max load %v vs ideal %v", maxLoad, ideal)
+	}
+	// Count-based split is far worse on this input.
+	countMax := 0.0
+	for _, s := range Even(n, p) {
+		var l float64
+		for i := s.Lo; i < s.Hi; i++ {
+			l += w[i]
+		}
+		if l > countMax {
+			countMax = l
+		}
+	}
+	if countMax < maxLoad {
+		t.Errorf("count split (%v) beat weighted split (%v) on skewed input", countMax, maxLoad)
+	}
+}
+
+func TestWeightedEvenEdgeCases(t *testing.T) {
+	checkCover(t, WeightedEven(nil, 3), 0)
+	checkCover(t, WeightedEven([]float64{5}, 4), 1)
+	checkCover(t, WeightedEven(make([]float64, 10), 3), 10) // all-zero weights
+}

@@ -1,0 +1,106 @@
+package partition
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// Property: Even always covers [0,n) with p contiguous ordered segments.
+func TestPropertyEvenCovers(t *testing.T) {
+	f := func(n, p int) bool {
+		n, p = abs(n)%10000, 1+abs(p)%300
+		segs := Even(n, p)
+		if len(segs) != p {
+			return false
+		}
+		at := 0
+		for _, s := range segs {
+			if s.Lo != at || s.Hi < s.Lo {
+				return false
+			}
+			at = s.Hi
+		}
+		return at == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(61))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: WeightedEven never produces a worse max load than giving one
+// rank everything, and covers the index space.
+func TestPropertyWeightedEvenBounded(t *testing.T) {
+	f := func(seed int64, p int) bool {
+		p = 1 + abs(p)%20
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(500)
+		w := make([]float64, n)
+		var total float64
+		for i := range w {
+			w[i] = r.Float64() * 10
+			total += w[i]
+		}
+		segs := WeightedEven(w, p)
+		at := 0
+		var maxLoad float64
+		for _, s := range segs {
+			if s.Lo != at {
+				return false
+			}
+			var l float64
+			for i := s.Lo; i < s.Hi; i++ {
+				l += w[i]
+			}
+			if l > maxLoad {
+				maxLoad = l
+			}
+			at = s.Hi
+		}
+		return at == n && maxLoad <= total+1e-9
+	}
+	cfg := &quick.Config{
+		MaxCount: 150,
+		Rand:     rand.New(rand.NewSource(62)),
+		Values: func(v []reflect.Value, r *rand.Rand) {
+			v[0] = reflect.ValueOf(r.Int63())
+			v[1] = reflect.ValueOf(r.Intn(40))
+		},
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// WeightedEven on uniform weights behaves like Even (within one item).
+func TestWeightedEvenUniformMatchesEven(t *testing.T) {
+	n, p := 100, 7
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	ws := WeightedEven(w, p)
+	es := Even(n, p)
+	for i := range ws {
+		if d := ws[i].Len() - es[i].Len(); d < -1 || d > 1 {
+			t.Fatalf("segment %d: weighted %d vs even %d", i, ws[i].Len(), es[i].Len())
+		}
+	}
+}
+
+func TestSegmentLen(t *testing.T) {
+	if (Segment{3, 10}).Len() != 7 {
+		t.Error("Len wrong")
+	}
+	if (Segment{5, 5}).Len() != 0 {
+		t.Error("empty segment Len wrong")
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

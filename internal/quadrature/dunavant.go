@@ -1,0 +1,86 @@
+// Package quadrature provides the numerical-integration machinery the
+// surface sampler needs: Dunavant symmetric Gaussian quadrature rules on
+// triangles (the paper cites Dunavant [11] for the Born-radius surface
+// integral) and icosphere triangulations of the unit sphere.
+package quadrature
+
+import "fmt"
+
+// TrianglePoint is one quadrature point of a rule, in barycentric
+// coordinates with a weight. Weights of a rule sum to 1, so integrating a
+// function f over a flat triangle T is area(T) · Σ w_i f(x_i).
+type TrianglePoint struct {
+	A, B, C float64 // barycentric coordinates (A+B+C = 1)
+	W       float64 // weight
+}
+
+// Rule returns the Dunavant symmetric rule exact for polynomials up to the
+// given degree (1–5 supported). Higher requested degrees fall back to 5.
+func Rule(degree int) []TrianglePoint {
+	switch {
+	case degree <= 1:
+		return rule1
+	case degree == 2:
+		return rule2
+	case degree == 3:
+		return rule3
+	case degree == 4:
+		return rule4
+	default:
+		return rule5
+	}
+}
+
+// NumPoints returns the number of quadrature points of the degree-d rule.
+func NumPoints(degree int) int { return len(Rule(degree)) }
+
+var rule1 = []TrianglePoint{
+	{1.0 / 3, 1.0 / 3, 1.0 / 3, 1.0},
+}
+
+var rule2 = perm3(2.0/3, 1.0/6, 1.0/3)
+
+var rule3 = append(
+	[]TrianglePoint{{1.0 / 3, 1.0 / 3, 1.0 / 3, -27.0 / 48}},
+	perm3(0.6, 0.2, 25.0/48)...,
+)
+
+var rule4 = append(
+	perm3(0.108103018168070, 0.445948490915965, 0.223381589678011),
+	perm3(0.816847572980459, 0.091576213509771, 0.109951743655322)...,
+)
+
+var rule5 = append(
+	append([]TrianglePoint{{1.0 / 3, 1.0 / 3, 1.0 / 3, 0.225}},
+		perm3(0.059715871789770, 0.470142064105115, 0.132394152788506)...),
+	perm3(0.797426985353087, 0.101286507323456, 0.125939180544827)...,
+)
+
+// perm3 expands the symmetric orbit (a,b,b) into its three permutations,
+// each with weight w.
+func perm3(a, b, w float64) []TrianglePoint {
+	return []TrianglePoint{
+		{a, b, b, w},
+		{b, a, b, w},
+		{b, b, a, w},
+	}
+}
+
+// CheckRule verifies that the weights of a rule sum to 1 and all barycentric
+// coordinates are valid; it returns an error describing the first problem.
+func CheckRule(pts []TrianglePoint) error {
+	var sum float64
+	for i, p := range pts {
+		if p.A < -0.5 || p.B < -0.5 || p.C < -0.5 {
+			return fmt.Errorf("point %d: barycentric out of range", i)
+		}
+		if d := p.A + p.B + p.C; d < 1-1e-12 || d > 1+1e-12 {
+			return fmt.Errorf("point %d: barycentric sum %v", i, d)
+		}
+		sum += p.W
+	}
+	if sum < 1-1e-12 || sum > 1+1e-12 {
+		return fmt.Errorf("weights sum to %v", sum)
+	}
+	return nil
+}

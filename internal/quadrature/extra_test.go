@@ -1,0 +1,134 @@
+package quadrature
+
+import (
+	"math"
+	"testing"
+
+	"octgb/internal/geom"
+)
+
+func TestRulePointsInsideTriangle(t *testing.T) {
+	// All rules except the deg-3 centroid rule (which has one negative
+	// weight) keep points strictly inside the triangle.
+	for d := 1; d <= 5; d++ {
+		for i, p := range Rule(d) {
+			if p.A < -1e-12 || p.B < -1e-12 || p.C < -1e-12 {
+				t.Errorf("degree %d point %d has negative barycentric: %+v", d, i, p)
+			}
+			if p.A > 1 || p.B > 1 || p.C > 1 {
+				t.Errorf("degree %d point %d outside: %+v", d, i, p)
+			}
+		}
+	}
+}
+
+func TestOnlyDegree3HasNegativeWeight(t *testing.T) {
+	for d := 1; d <= 5; d++ {
+		neg := false
+		for _, p := range Rule(d) {
+			if p.W < 0 {
+				neg = true
+			}
+		}
+		if neg != (d == 3) {
+			t.Errorf("degree %d: negative weight presence = %v", d, neg)
+		}
+	}
+}
+
+func TestIcosphereTrianglesConsistentlyOriented(t *testing.T) {
+	// All faces must wind the same way: outward normals (cross product)
+	// point away from the origin.
+	for level := 0; level <= 2; level++ {
+		m := Icosphere(level)
+		for i, tr := range m.Tris {
+			a, b, c := m.Verts[tr[0]], m.Verts[tr[1]], m.Verts[tr[2]]
+			n := b.Sub(a).Cross(c.Sub(a))
+			centroid := a.Add(b).Add(c).Scale(1.0 / 3)
+			if n.Dot(centroid) <= 0 {
+				t.Fatalf("level %d triangle %d wound inward", level, i)
+			}
+		}
+	}
+}
+
+func TestIcosphereNoDegenerateTriangles(t *testing.T) {
+	m := Icosphere(2)
+	for i := range m.Tris {
+		if m.TriangleArea(i) < 1e-6 {
+			t.Fatalf("triangle %d degenerate (area %v)", i, m.TriangleArea(i))
+		}
+	}
+}
+
+func TestIcosphereEdgeSharing(t *testing.T) {
+	// Closed manifold: every edge is shared by exactly two triangles.
+	m := Icosphere(1)
+	edges := map[[2]int32]int{}
+	for _, tr := range m.Tris {
+		for e := 0; e < 3; e++ {
+			a, b := tr[e], tr[(e+1)%3]
+			if a > b {
+				a, b = b, a
+			}
+			edges[[2]int32{a, b}]++
+		}
+	}
+	for e, n := range edges {
+		if n != 2 {
+			t.Fatalf("edge %v shared by %d triangles", e, n)
+		}
+	}
+}
+
+func TestPointAtVertices(t *testing.T) {
+	m := Icosphere(0)
+	tr := m.Tris[0]
+	if got := m.PointAt(0, 1, 0, 0); got != m.Verts[tr[0]] {
+		t.Errorf("PointAt(1,0,0) = %v", got)
+	}
+	if got := m.PointAt(0, 0, 0, 1); got != m.Verts[tr[2]] {
+		t.Errorf("PointAt(0,0,1) = %v", got)
+	}
+	mid := m.PointAt(0, 0.5, 0.5, 0)
+	want := m.Verts[tr[0]].Add(m.Verts[tr[1]]).Scale(0.5)
+	if mid.Dist(want) > 1e-12 {
+		t.Errorf("midpoint = %v, want %v", mid, want)
+	}
+}
+
+// Integrating the constant 1 over the sphere with any rule gives the flat
+// mesh area exactly (weights sum to 1 per triangle).
+func TestConstantIntegral(t *testing.T) {
+	m := Icosphere(1)
+	for d := 1; d <= 5; d++ {
+		var s float64
+		for i := range m.Tris {
+			area := m.TriangleArea(i)
+			for _, p := range Rule(d) {
+				s += p.W * area
+			}
+		}
+		if math.Abs(s-m.TotalArea()) > 1e-9 {
+			t.Errorf("degree %d: ∫1 = %v, want %v", d, s, m.TotalArea())
+		}
+	}
+}
+
+// The gradient theorem check: ∮ n̂ dA = 0 over a closed surface — a strong
+// joint test of normals, weights and orientation used by the Born-radius
+// integrand.
+func TestClosedSurfaceNormalIntegralVanishes(t *testing.T) {
+	m := Icosphere(2)
+	var sum geom.Vec3
+	for i := range m.Tris {
+		area := m.TriangleArea(i)
+		for _, p := range Rule(2) {
+			n := m.PointAt(i, p.A, p.B, p.C).Unit()
+			sum = sum.Add(n.Scale(p.W * area))
+		}
+	}
+	if sum.Norm() > 1e-10 {
+		t.Errorf("∮ n̂ dA = %v, want 0", sum)
+	}
+}

@@ -1,0 +1,96 @@
+package quadrature
+
+import (
+	"math"
+
+	"octgb/internal/geom"
+)
+
+// Mesh is a triangulated surface: vertices and triangles indexing them.
+type Mesh struct {
+	Verts []geom.Vec3
+	Tris  [][3]int32
+}
+
+// Icosphere returns a triangulation of the unit sphere obtained by
+// subdividing an icosahedron `level` times (level 0 = 20 triangles,
+// each level quadruples the count) and projecting vertices to the sphere.
+func Icosphere(level int) *Mesh {
+	t := (1 + math.Sqrt(5)) / 2
+	verts := []geom.Vec3{
+		geom.V(-1, t, 0), geom.V(1, t, 0), geom.V(-1, -t, 0), geom.V(1, -t, 0),
+		geom.V(0, -1, t), geom.V(0, 1, t), geom.V(0, -1, -t), geom.V(0, 1, -t),
+		geom.V(t, 0, -1), geom.V(t, 0, 1), geom.V(-t, 0, -1), geom.V(-t, 0, 1),
+	}
+	for i := range verts {
+		verts[i] = verts[i].Unit()
+	}
+	tris := [][3]int32{
+		{0, 11, 5}, {0, 5, 1}, {0, 1, 7}, {0, 7, 10}, {0, 10, 11},
+		{1, 5, 9}, {5, 11, 4}, {11, 10, 2}, {10, 7, 6}, {7, 1, 8},
+		{3, 9, 4}, {3, 4, 2}, {3, 2, 6}, {3, 6, 8}, {3, 8, 9},
+		{4, 9, 5}, {2, 4, 11}, {6, 2, 10}, {8, 6, 7}, {9, 8, 1},
+	}
+	m := &Mesh{Verts: verts, Tris: tris}
+	for l := 0; l < level; l++ {
+		m = m.subdivide()
+	}
+	return m
+}
+
+// subdivide splits every triangle into 4, projecting midpoints to the unit
+// sphere. Midpoints are cached per edge so shared edges stay shared.
+func (m *Mesh) subdivide() *Mesh {
+	out := &Mesh{Verts: append([]geom.Vec3(nil), m.Verts...)}
+	cache := make(map[[2]int32]int32, len(m.Tris)*2)
+	mid := func(a, b int32) int32 {
+		k := [2]int32{a, b}
+		if a > b {
+			k = [2]int32{b, a}
+		}
+		if v, ok := cache[k]; ok {
+			return v
+		}
+		p := out.Verts[a].Add(out.Verts[b]).Scale(0.5).Unit()
+		idx := int32(len(out.Verts))
+		out.Verts = append(out.Verts, p)
+		cache[k] = idx
+		return idx
+	}
+	for _, tr := range m.Tris {
+		a, b, c := tr[0], tr[1], tr[2]
+		ab, bc, ca := mid(a, b), mid(b, c), mid(c, a)
+		out.Tris = append(out.Tris,
+			[3]int32{a, ab, ca},
+			[3]int32{b, bc, ab},
+			[3]int32{c, ca, bc},
+			[3]int32{ab, bc, ca},
+		)
+	}
+	return out
+}
+
+// TriangleArea returns the flat area of triangle i.
+func (m *Mesh) TriangleArea(i int) float64 {
+	tr := m.Tris[i]
+	a, b, c := m.Verts[tr[0]], m.Verts[tr[1]], m.Verts[tr[2]]
+	return b.Sub(a).Cross(c.Sub(a)).Norm() / 2
+}
+
+// TotalArea returns the summed flat triangle area; for an icosphere this
+// approaches 4π as the level increases.
+func (m *Mesh) TotalArea() float64 {
+	var s float64
+	for i := range m.Tris {
+		s += m.TriangleArea(i)
+	}
+	return s
+}
+
+// PointAt evaluates the barycentric point (a,b,c) on triangle i.
+func (m *Mesh) PointAt(i int, a, b, c float64) geom.Vec3 {
+	tr := m.Tris[i]
+	return m.Verts[tr[0]].Scale(a).
+		Add(m.Verts[tr[1]].Scale(b)).
+		Add(m.Verts[tr[2]].Scale(c))
+}

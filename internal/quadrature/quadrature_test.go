@@ -1,0 +1,135 @@
+package quadrature
+
+import (
+	"math"
+	"testing"
+
+	"octgb/internal/geom"
+)
+
+func TestAllRulesValid(t *testing.T) {
+	for d := 1; d <= 5; d++ {
+		if err := CheckRule(Rule(d)); err != nil {
+			t.Errorf("degree %d: %v", d, err)
+		}
+	}
+}
+
+// integrateTri integrates f over the unit right triangle (0,0)-(1,0)-(0,1)
+// with the degree-d rule.
+func integrateTri(d int, f func(x, y float64) float64) float64 {
+	var s float64
+	for _, p := range Rule(d) {
+		// Vertices (0,0), (1,0), (0,1) with barycentric (A,B,C).
+		x := p.B
+		y := p.C
+		s += p.W * f(x, y)
+	}
+	return s * 0.5 // triangle area
+}
+
+// monomialExact is ∫∫_T x^m y^n dx dy over the unit right triangle:
+// m! n! / (m+n+2)!.
+func monomialExact(m, n int) float64 {
+	fact := func(k int) float64 {
+		f := 1.0
+		for i := 2; i <= k; i++ {
+			f *= float64(i)
+		}
+		return f
+	}
+	return fact(m) * fact(n) / fact(m+n+2)
+}
+
+func TestRulesExactForPolynomials(t *testing.T) {
+	for d := 1; d <= 5; d++ {
+		for m := 0; m+0 <= d; m++ {
+			for n := 0; m+n <= d; n++ {
+				got := integrateTri(d, func(x, y float64) float64 {
+					return math.Pow(x, float64(m)) * math.Pow(y, float64(n))
+				})
+				want := monomialExact(m, n)
+				if math.Abs(got-want) > 1e-12 {
+					t.Errorf("degree %d rule not exact for x^%d y^%d: %v vs %v", d, m, n, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestRuleFallbacks(t *testing.T) {
+	if len(Rule(0)) != 1 {
+		t.Error("degree 0 should map to the 1-point rule")
+	}
+	if len(Rule(9)) != len(Rule(5)) {
+		t.Error("degree >5 should fall back to degree 5")
+	}
+	if NumPoints(3) != 4 {
+		t.Errorf("deg-3 rule has %d points, want 4", NumPoints(3))
+	}
+}
+
+func TestIcosphereTopology(t *testing.T) {
+	for level := 0; level <= 3; level++ {
+		m := Icosphere(level)
+		wantTris := 20 << (2 * uint(level))
+		if len(m.Tris) != wantTris {
+			t.Errorf("level %d: %d tris, want %d", level, len(m.Tris), wantTris)
+		}
+		// Euler characteristic of a sphere: V - E + F = 2, E = 3F/2.
+		wantVerts := 2 + wantTris/2
+		if len(m.Verts) != wantVerts {
+			t.Errorf("level %d: %d verts, want %d", level, len(m.Verts), wantVerts)
+		}
+		// All vertices on the unit sphere.
+		for i, v := range m.Verts {
+			if math.Abs(v.Norm()-1) > 1e-12 {
+				t.Fatalf("level %d: vertex %d has |v| = %v", level, i, v.Norm())
+			}
+		}
+	}
+}
+
+func TestIcosphereAreaConvergesTo4Pi(t *testing.T) {
+	prevErr := math.Inf(1)
+	for level := 0; level <= 3; level++ {
+		m := Icosphere(level)
+		err := math.Abs(m.TotalArea() - 4*math.Pi)
+		if err >= prevErr {
+			t.Errorf("area error did not shrink at level %d: %v >= %v", level, err, prevErr)
+		}
+		prevErr = err
+	}
+	if got := Icosphere(3).TotalArea(); math.Abs(got-4*math.Pi) > 0.1 {
+		t.Errorf("level-3 area %v too far from 4π", got)
+	}
+}
+
+// The classical solid-angle identity: for a sphere of radius R centered at
+// c, ∮ (r-x)·n̂ / |r-x|³ dA = 4π for any x strictly inside. This is exactly
+// the structure of the paper's surface integrals, so it is the key
+// correctness check for the triangulated-sphere + Dunavant pipeline.
+func TestSurfaceQuadratureSolidAngle(t *testing.T) {
+	m := Icosphere(3)
+	deg := 2
+	x := geom.V(0.2, -0.1, 0.3) // inside the unit sphere
+	var integral float64
+	for i := range m.Tris {
+		area := m.TriangleArea(i)
+		for _, p := range Rule(deg) {
+			r := m.PointAt(i, p.A, p.B, p.C)
+			n := r.Unit() // outward normal of the unit sphere
+			d := r.Sub(x)
+			integral += p.W * area * d.Dot(n) / math.Pow(d.Norm(), 3)
+		}
+	}
+	if math.Abs(integral-4*math.Pi) > 0.1 {
+		t.Errorf("solid angle = %v, want 4π = %v", integral, 4*math.Pi)
+	}
+}
+
+func BenchmarkIcosphereLevel3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Icosphere(3)
+	}
+}

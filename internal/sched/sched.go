@@ -1,0 +1,242 @@
+// Package sched is the shared-memory parallel runtime of the library — the
+// stand-in for the cilk++ work-stealing scheduler the paper uses inside
+// each compute node. Each worker owns a double-ended queue; it pushes and
+// pops its own work at the bottom (LIFO, cache-warm) and steals from the
+// top of a random victim's deque (FIFO, oldest work) when it runs dry —
+// exactly the Blumofe–Leiserson discipline the paper describes (§IV-A,
+// "Dynamic load balancing among threads").
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Task is a unit of work. It receives the executing worker's id so tasks
+// can use per-worker accumulators without synchronization.
+type Task func(worker int)
+
+// Stats reports scheduler activity for one Run.
+type Stats struct {
+	Executed     int64 // tasks executed
+	Steals       int64 // successful steals
+	FailedSteals int64 // steal attempts that found an empty deque
+}
+
+// Pool is a work-stealing scheduler with a fixed number of workers.
+type Pool struct {
+	p      int
+	deques []deque
+	stats  Stats
+
+	pending int64 // outstanding tasks across all deques + in flight
+
+	panicMu  sync.Mutex
+	panicked interface{} // first task panic value, re-raised by Run
+}
+
+// deque is a mutex-protected double-ended queue. Push/pop at the bottom
+// are the owner's fast path; Steal takes from the top.
+type deque struct {
+	mu    sync.Mutex
+	tasks []Task
+}
+
+func (d *deque) push(t Task) {
+	d.mu.Lock()
+	d.tasks = append(d.tasks, t)
+	d.mu.Unlock()
+}
+
+func (d *deque) pop() (Task, bool) {
+	d.mu.Lock()
+	n := len(d.tasks)
+	if n == 0 {
+		d.mu.Unlock()
+		return nil, false
+	}
+	t := d.tasks[n-1]
+	d.tasks[n-1] = nil
+	d.tasks = d.tasks[:n-1]
+	d.mu.Unlock()
+	return t, true
+}
+
+func (d *deque) steal() (Task, bool) {
+	d.mu.Lock()
+	if len(d.tasks) == 0 {
+		d.mu.Unlock()
+		return nil, false
+	}
+	t := d.tasks[0]
+	copy(d.tasks, d.tasks[1:])
+	d.tasks[len(d.tasks)-1] = nil
+	d.tasks = d.tasks[:len(d.tasks)-1]
+	d.mu.Unlock()
+	return t, true
+}
+
+// NewPool creates a pool with p workers (p ≤ 0 selects GOMAXPROCS).
+func NewPool(p int) *Pool {
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{p: p, deques: make([]deque, p)}
+}
+
+// Workers returns the worker count.
+func (pl *Pool) Workers() int { return pl.p }
+
+// Spawn enqueues t on the given worker's deque. It may only be called from
+// inside a running task (with that task's worker id) or before Run with
+// worker 0; the pending count keeps Run from returning early.
+func (pl *Pool) Spawn(worker int, t Task) {
+	atomic.AddInt64(&pl.pending, 1)
+	pl.deques[worker].push(t)
+}
+
+// Run executes root and everything it transitively spawns, returning when
+// the pool is quiescent. Stats for this run are returned. If any task
+// panics, the remaining queued work is drained and the first panic value
+// is re-raised on the caller's goroutine (so a library user sees an
+// ordinary panic rather than a crashed anonymous worker).
+func (pl *Pool) Run(root Task) Stats {
+	atomic.StoreInt64(&pl.pending, 0)
+	pl.stats = Stats{}
+	pl.panicked = nil
+	pl.Spawn(0, root)
+
+	var wg sync.WaitGroup
+	for w := 0; w < pl.p; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pl.workerLoop(w)
+		}(w)
+	}
+	wg.Wait()
+	if pl.panicked != nil {
+		panic(fmt.Sprintf("sched: task panicked: %v", pl.panicked))
+	}
+	return Stats{
+		Executed:     atomic.LoadInt64(&pl.stats.Executed),
+		Steals:       atomic.LoadInt64(&pl.stats.Steals),
+		FailedSteals: atomic.LoadInt64(&pl.stats.FailedSteals),
+	}
+}
+
+func (pl *Pool) workerLoop(w int) {
+	rng := rand.New(rand.NewSource(int64(w)*2654435761 + 97))
+	idleSpins := 0
+	for {
+		if t, ok := pl.deques[w].pop(); ok {
+			pl.exec(w, t)
+			idleSpins = 0
+			continue
+		}
+		// Local deque empty: try to steal the oldest work from a random
+		// victim (stealing oldest reduces inter-thread communication, as
+		// the paper notes for cilk++).
+		if pl.p > 1 {
+			victim := rng.Intn(pl.p - 1)
+			if victim >= w {
+				victim++
+			}
+			if t, ok := pl.deques[victim].steal(); ok {
+				atomic.AddInt64(&pl.stats.Steals, 1)
+				pl.exec(w, t)
+				idleSpins = 0
+				continue
+			}
+			atomic.AddInt64(&pl.stats.FailedSteals, 1)
+		}
+		if atomic.LoadInt64(&pl.pending) == 0 {
+			return
+		}
+		idleSpins++
+		if idleSpins > 64 {
+			runtime.Gosched()
+		}
+	}
+}
+
+func (pl *Pool) exec(w int, t Task) {
+	defer func() {
+		if r := recover(); r != nil {
+			pl.panicMu.Lock()
+			if pl.panicked == nil {
+				pl.panicked = r
+			}
+			pl.panicMu.Unlock()
+		}
+		atomic.AddInt64(&pl.stats.Executed, 1)
+		atomic.AddInt64(&pl.pending, -1)
+	}()
+	t(w)
+}
+
+// ParallelFor executes fn over [0, n) split into chunks of at most grain
+// (grain ≤ 0 picks n/(8p), floored at 1), using recursive binary splitting
+// so stealing moves large half-ranges first. It blocks until all chunks
+// complete and returns the run's stats.
+func (pl *Pool) ParallelFor(n, grain int, fn func(worker, lo, hi int)) Stats {
+	if n <= 0 {
+		return Stats{}
+	}
+	if grain <= 0 {
+		grain = n / (8 * pl.p)
+		if grain < 1 {
+			grain = 1
+		}
+	}
+	var split func(lo, hi int) Task
+	split = func(lo, hi int) Task {
+		return func(w int) {
+			for hi-lo > grain {
+				mid := lo + (hi-lo)/2
+				pl.Spawn(w, split(mid, hi))
+				hi = mid
+			}
+			fn(w, lo, hi)
+		}
+	}
+	return pl.Run(split(0, n))
+}
+
+// ListScheduleMakespan computes the deterministic greedy (list-scheduling)
+// makespan of the given task weights on p identical workers: tasks are
+// assigned in order to the least-loaded worker. By Graham's bound this is
+// within 2× of optimal and models what a work-stealing scheduler achieves;
+// the virtual-time machine model uses it to turn measured per-task work
+// into a p-thread execution time on hardware we do not have.
+func ListScheduleMakespan(weights []float64, p int) float64 {
+	if p <= 1 {
+		var s float64
+		for _, w := range weights {
+			s += w
+		}
+		return s
+	}
+	loads := make([]float64, p)
+	for _, w := range weights {
+		// Find least-loaded worker (p is small; linear scan is fine and
+		// deterministic).
+		min := 0
+		for i := 1; i < p; i++ {
+			if loads[i] < loads[min] {
+				min = i
+			}
+		}
+		loads[min] += w
+	}
+	var max float64
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}

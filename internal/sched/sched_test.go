@@ -1,0 +1,231 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelForCoversRangeExactlyOnce(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 8} {
+		pool := NewPool(p)
+		n := 10000
+		hits := make([]int32, n)
+		pool.ParallelFor(n, 0, func(w, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("p=%d: index %d hit %d times", p, i, h)
+			}
+		}
+	}
+}
+
+func TestParallelForSum(t *testing.T) {
+	pool := NewPool(4)
+	n := 100000
+	partial := make([]float64, pool.Workers())
+	pool.ParallelFor(n, 100, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			partial[w] += float64(i)
+		}
+	})
+	var sum float64
+	for _, s := range partial {
+		sum += s
+	}
+	want := float64(n) * float64(n-1) / 2
+	if sum != want {
+		t.Errorf("sum = %v, want %v", sum, want)
+	}
+}
+
+func TestParallelForEmptyAndTiny(t *testing.T) {
+	pool := NewPool(3)
+	ran := int32(0)
+	pool.ParallelFor(0, 0, func(w, lo, hi int) { atomic.AddInt32(&ran, 1) })
+	if ran != 0 {
+		t.Error("fn ran for empty range")
+	}
+	pool.ParallelFor(1, 0, func(w, lo, hi int) {
+		if lo != 0 || hi != 1 {
+			t.Errorf("bad range [%d,%d)", lo, hi)
+		}
+		atomic.AddInt32(&ran, 1)
+	})
+	if ran != 1 {
+		t.Errorf("fn ran %d times for 1-element range", ran)
+	}
+}
+
+func TestRunNestedSpawns(t *testing.T) {
+	// A recursive fibonacci-style spawn tree: all leaves must execute.
+	pool := NewPool(4)
+	var count int64
+	var spawnTree func(depth int) Task
+	spawnTree = func(depth int) Task {
+		return func(w int) {
+			if depth == 0 {
+				atomic.AddInt64(&count, 1)
+				return
+			}
+			pool.Spawn(w, spawnTree(depth-1))
+			pool.Spawn(w, spawnTree(depth-1))
+		}
+	}
+	stats := pool.Run(spawnTree(10))
+	if count != 1024 {
+		t.Errorf("executed %d leaves, want 1024", count)
+	}
+	// 2^11 - 1 internal+leaf tasks total.
+	if stats.Executed != 2047 {
+		t.Errorf("stats.Executed = %d, want 2047", stats.Executed)
+	}
+}
+
+func TestStealsHappenWithMultipleWorkers(t *testing.T) {
+	if testingOnOneProc() {
+		// With GOMAXPROCS=1 stealing is still possible (goroutines
+		// interleave) but not guaranteed; don't assert.
+		t.Skip("single-proc machine: steal counts are not deterministic")
+	}
+	pool := NewPool(4)
+	var sink int64
+	stats := pool.ParallelFor(100000, 10, func(w, lo, hi int) {
+		s := int64(0)
+		for i := lo; i < hi; i++ {
+			s += int64(i % 7)
+		}
+		atomic.AddInt64(&sink, s)
+	})
+	if stats.Steals == 0 {
+		t.Error("no steals occurred with 4 workers and 10k chunks")
+	}
+}
+
+func testingOnOneProc() bool {
+	return NewPool(0).Workers() == 1
+}
+
+func TestWorkerIDsInRange(t *testing.T) {
+	pool := NewPool(5)
+	var bad int64
+	pool.ParallelFor(1000, 1, func(w, lo, hi int) {
+		if w < 0 || w >= 5 {
+			atomic.AddInt64(&bad, 1)
+		}
+	})
+	if bad != 0 {
+		t.Errorf("%d chunks saw out-of-range worker ids", bad)
+	}
+}
+
+func TestPoolReuse(t *testing.T) {
+	pool := NewPool(2)
+	for round := 0; round < 5; round++ {
+		var n int64
+		pool.ParallelFor(100, 7, func(w, lo, hi int) {
+			atomic.AddInt64(&n, int64(hi-lo))
+		})
+		if n != 100 {
+			t.Fatalf("round %d: covered %d", round, n)
+		}
+	}
+}
+
+func TestTaskPanicPropagates(t *testing.T) {
+	pool := NewPool(3)
+	defer func() {
+		if r := recover(); r == nil {
+			t.Error("task panic was swallowed")
+		}
+	}()
+	pool.ParallelFor(100, 1, func(w, lo, hi int) {
+		if lo == 50 {
+			panic("boom")
+		}
+	})
+}
+
+func TestPoolUsableAfterPanic(t *testing.T) {
+	pool := NewPool(2)
+	func() {
+		defer func() { recover() }()
+		pool.Run(func(w int) { panic("first") })
+	}()
+	// The pool must still work for subsequent runs.
+	var n int64
+	pool.ParallelFor(50, 5, func(w, lo, hi int) {
+		atomic.AddInt64(&n, int64(hi-lo))
+	})
+	if n != 50 {
+		t.Errorf("post-panic run covered %d of 50", n)
+	}
+}
+
+func TestListScheduleMakespan(t *testing.T) {
+	// p=1: sum.
+	if got := ListScheduleMakespan([]float64{1, 2, 3}, 1); got != 6 {
+		t.Errorf("p=1: %v", got)
+	}
+	// Equal tasks divide evenly.
+	w := make([]float64, 16)
+	for i := range w {
+		w[i] = 1
+	}
+	if got := ListScheduleMakespan(w, 4); got != 4 {
+		t.Errorf("16 unit tasks on 4: %v", got)
+	}
+	// Makespan bounds: max(avg, largest) ≤ makespan ≤ avg + largest.
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(100)
+		p := 1 + r.Intn(12)
+		ws := make([]float64, n)
+		var sum, largest float64
+		for i := range ws {
+			ws[i] = r.Float64()*10 + 0.01
+			sum += ws[i]
+			if ws[i] > largest {
+				largest = ws[i]
+			}
+		}
+		got := ListScheduleMakespan(ws, p)
+		lower := math.Max(sum/float64(p), largest)
+		upper := sum/float64(p) + largest + 1e-9
+		if got < lower-1e-9 || got > upper {
+			t.Fatalf("makespan %v outside [%v, %v]", got, lower, upper)
+		}
+	}
+	// Empty task list.
+	if got := ListScheduleMakespan(nil, 4); got != 0 {
+		t.Errorf("empty: %v", got)
+	}
+}
+
+func TestListScheduleMoreWorkersNeverSlower(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	ws := make([]float64, 200)
+	for i := range ws {
+		ws[i] = r.Float64() * 5
+	}
+	prev := math.Inf(1)
+	for p := 1; p <= 16; p *= 2 {
+		m := ListScheduleMakespan(ws, p)
+		if m > prev+1e-9 {
+			t.Errorf("p=%d makespan %v worse than p/2's %v", p, m, prev)
+		}
+		prev = m
+	}
+}
+
+func BenchmarkParallelForOverhead(b *testing.B) {
+	pool := NewPool(0)
+	for i := 0; i < b.N; i++ {
+		pool.ParallelFor(1000, 100, func(w, lo, hi int) {})
+	}
+}

@@ -1,0 +1,81 @@
+package surface
+
+import (
+	"math"
+
+	"octgb/internal/geom"
+	"octgb/internal/molecule"
+	"octgb/internal/octree"
+	"octgb/internal/quadrature"
+	"octgb/internal/sched"
+)
+
+// SampleParallel is Sample with the per-atom sphere sampling and burial
+// tests distributed over a work-stealing pool of `workers` threads
+// (workers ≤ 1 falls back to the serial Sample). The output is identical
+// to Sample — per-atom results are assembled in atom order regardless of
+// scheduling — so callers can switch freely between the two.
+func SampleParallel(mol *molecule.Molecule, opt Options, workers int) []QPoint {
+	if workers <= 1 || mol.N() == 0 {
+		return Sample(mol, opt)
+	}
+	opt = opt.withDefaults()
+	n := mol.N()
+
+	mesh := quadrature.Icosphere(opt.SubdivLevel)
+	rule := quadrature.Rule(opt.Degree)
+	areaFix := 4 * math.Pi / mesh.TotalArea()
+	type protoPoint struct {
+		dir geom.Vec3
+		w   float64
+	}
+	protos := make([]protoPoint, 0, len(mesh.Tris)*len(rule))
+	for i := range mesh.Tris {
+		area := mesh.TriangleArea(i) * areaFix
+		for _, p := range rule {
+			protos = append(protos, protoPoint{
+				dir: mesh.PointAt(i, p.A, p.B, p.C).Unit(),
+				w:   p.W * area,
+			})
+		}
+	}
+
+	centers := make([]geom.Vec3, n)
+	maxR := 0.0
+	for i, a := range mol.Atoms {
+		centers[i] = a.Pos
+		if r := a.Radius * opt.RadiusScale; r > maxR {
+			maxR = r
+		}
+	}
+	tree := octree.Build(centers, 0)
+
+	// Per-atom buckets keep the output deterministic under any schedule.
+	buckets := make([][]QPoint, n)
+	pool := sched.NewPool(workers)
+	pool.ParallelFor(n, 16, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ai := &mol.Atoms[i]
+			ri := ai.Radius * opt.RadiusScale
+			var pts []QPoint
+			for _, pp := range protos {
+				p := ai.Pos.Add(pp.dir.Scale(ri))
+				if buried(tree, mol, opt.RadiusScale, p, int32(i), maxR) {
+					continue
+				}
+				pts = append(pts, QPoint{Pos: p, Normal: pp.dir, Weight: pp.w * ri * ri})
+			}
+			buckets[i] = pts
+		}
+	})
+
+	total := 0
+	for _, b := range buckets {
+		total += len(b)
+	}
+	out := make([]QPoint, 0, total)
+	for _, b := range buckets {
+		out = append(out, b...)
+	}
+	return out
+}

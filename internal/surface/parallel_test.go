@@ -1,0 +1,41 @@
+package surface
+
+import (
+	"testing"
+
+	"octgb/internal/molecule"
+)
+
+func TestSampleParallelMatchesSerial(t *testing.T) {
+	m := molecule.GenerateProtein("par", 800, 91)
+	serial := Sample(m, Default())
+	for _, workers := range []int{2, 4, 8} {
+		par := SampleParallel(m, Default(), workers)
+		if len(par) != len(serial) {
+			t.Fatalf("workers=%d: %d points vs serial %d", workers, len(par), len(serial))
+		}
+		for i := range serial {
+			if par[i] != serial[i] {
+				t.Fatalf("workers=%d: point %d differs", workers, i)
+			}
+		}
+	}
+}
+
+func TestSampleParallelFallbacks(t *testing.T) {
+	m := molecule.GenerateProtein("pf", 100, 92)
+	if got := SampleParallel(m, Default(), 1); len(got) != len(Sample(m, Default())) {
+		t.Error("workers=1 fallback differs")
+	}
+	if got := SampleParallel(&molecule.Molecule{}, Default(), 4); len(got) != 0 {
+		t.Error("empty molecule produced points")
+	}
+}
+
+func BenchmarkSampleParallel2000(b *testing.B) {
+	m := molecule.GenerateProtein("bp", 2000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SampleParallel(m, Default(), 4)
+	}
+}

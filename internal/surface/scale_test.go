@@ -1,0 +1,94 @@
+package surface
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"octgb/internal/geom"
+	"octgb/internal/molecule"
+)
+
+func TestRadiusScaleGrowsArea(t *testing.T) {
+	// Inflating the radii (SAS-style surfaces) must grow the exposed area
+	// roughly quadratically for an isolated atom and monotonically for a
+	// molecule.
+	a1 := TotalArea(Sample(singleAtom(1.5), Options{RadiusScale: 1}))
+	a2 := TotalArea(Sample(singleAtom(1.5), Options{RadiusScale: 2}))
+	if math.Abs(a2/a1-4) > 1e-9 {
+		t.Errorf("isolated-atom area ratio %v, want 4", a2/a1)
+	}
+
+	// For a packed molecule inflation also increases burial, so the net
+	// area change is shape-dependent; it must differ from the unscaled
+	// area and stay below the sum of isolated-sphere areas.
+	m := molecule.GenerateProtein("ss", 400, 61)
+	s1 := TotalArea(Sample(m, Options{RadiusScale: 1}))
+	s12 := TotalArea(Sample(m, Options{RadiusScale: 1.2}))
+	if s12 == s1 {
+		t.Error("radius scale had no effect on molecular area")
+	}
+	var upper float64
+	for _, a := range m.Atoms {
+		r := a.Radius * 1.2
+		upper += 4 * math.Pi * r * r
+	}
+	if s12 <= 0 || s12 > upper {
+		t.Errorf("scaled area %v outside (0, %v]", s12, upper)
+	}
+}
+
+func TestHigherResolutionRefinesArea(t *testing.T) {
+	// For two overlapping spheres the analytic exposed area is known;
+	// resolution must converge toward it.
+	d := 1.5
+	m := &molecule.Molecule{Name: "pair", Atoms: []molecule.Atom{
+		{Pos: geom.V(0, 0, 0), Radius: 1},
+		{Pos: geom.V(d, 0, 0), Radius: 1},
+	}}
+	h := 1 - d/2
+	want := 2 * (4*math.Pi - 2*math.Pi*h)
+	errAt := func(level int) float64 {
+		got := TotalArea(Sample(m, Options{SubdivLevel: level, Degree: 2}))
+		return math.Abs(got - want)
+	}
+	if e3, e1 := errAt(3), errAt(1); e3 > e1 {
+		t.Errorf("refinement did not reduce area error: L1 %v → L3 %v", e1, e3)
+	}
+}
+
+// Property: sampled areas are positive and bounded by the sum of the
+// isolated-sphere areas, for random small molecules.
+func TestPropertyAreaBounds(t *testing.T) {
+	f := func(n int, seed int64) bool {
+		n = 2 + abs(n)%60
+		m := molecule.GenerateProtein("p", n, seed)
+		q := Sample(m, Options{SubdivLevel: 0, Degree: 1})
+		area := TotalArea(q)
+		var max float64
+		for _, a := range m.Atoms {
+			max += 4 * math.Pi * a.Radius * a.Radius
+		}
+		return area > 0 && area <= max*(1+1e-9)
+	}
+	cfg := &quick.Config{
+		MaxCount: 40,
+		Rand:     rand.New(rand.NewSource(77)),
+		Values: func(v []reflect.Value, r *rand.Rand) {
+			v[0] = reflect.ValueOf(r.Intn(60))
+			v[1] = reflect.ValueOf(r.Int63())
+		},
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,145 @@
+package surface
+
+import (
+	"math"
+	"testing"
+
+	"octgb/internal/geom"
+	"octgb/internal/molecule"
+)
+
+func singleAtom(r float64) *molecule.Molecule {
+	return &molecule.Molecule{
+		Name:  "one",
+		Atoms: []molecule.Atom{{Pos: geom.V(0, 0, 0), Radius: r, Charge: -1}},
+	}
+}
+
+func TestSingleAtomAreaExact(t *testing.T) {
+	for _, r := range []float64{1.0, 1.52, 2.0} {
+		q := Sample(singleAtom(r), Default())
+		want := 4 * math.Pi * r * r
+		got := TotalArea(q)
+		if math.Abs(got-want) > 1e-9*want {
+			t.Errorf("r=%v: area %v, want %v", r, got, want)
+		}
+	}
+}
+
+func TestSingleAtomSolidAngle(t *testing.T) {
+	// ∮ (r-x)·n̂/|r-x|³ dA = 4π for x inside the sphere — checks positions,
+	// normals and weights together.
+	q := Sample(singleAtom(1.5), Options{SubdivLevel: 2, Degree: 2})
+	x := geom.V(0.2, 0.1, -0.3)
+	var s float64
+	for _, p := range q {
+		d := p.Pos.Sub(x)
+		s += p.Weight * d.Dot(p.Normal) / math.Pow(d.Norm(), 3)
+	}
+	if math.Abs(s-4*math.Pi) > 0.05 {
+		t.Errorf("solid angle %v, want 4π", s)
+	}
+}
+
+func TestBuriedAtomContributesNothing(t *testing.T) {
+	// A small atom fully inside a big one has no exposed surface.
+	m := &molecule.Molecule{Name: "buried", Atoms: []molecule.Atom{
+		{Pos: geom.V(0, 0, 0), Radius: 3.0},
+		{Pos: geom.V(0.5, 0, 0), Radius: 1.0},
+	}}
+	q := Sample(m, Default())
+	// All q-points must lie on the big sphere (radius 3 from origin).
+	for _, p := range q {
+		if math.Abs(p.Pos.Norm()-3.0) > 1e-9 {
+			t.Fatalf("q-point on buried atom at %v", p.Pos)
+		}
+	}
+	// Area equals the isolated big sphere's area (small atom adds nothing,
+	// removes nothing).
+	want := 4 * math.Pi * 9
+	if got := TotalArea(q); math.Abs(got-want) > 1e-9*want {
+		t.Errorf("area %v, want %v", got, want)
+	}
+}
+
+func TestTwoOverlappingSpheresArea(t *testing.T) {
+	// Two unit spheres at distance d<2: exposed area of each is the sphere
+	// minus a cap. Total = 2·(4π − 2π(1−d/2)) = 8π − 4π(1−d/2) exactly
+	// (spherical cap area 2πrh with h = 1−d/2 for equal radii r=1).
+	d := 1.2
+	m := &molecule.Molecule{Name: "pair", Atoms: []molecule.Atom{
+		{Pos: geom.V(0, 0, 0), Radius: 1},
+		{Pos: geom.V(d, 0, 0), Radius: 1},
+	}}
+	q := Sample(m, Options{SubdivLevel: 3, Degree: 2})
+	h := 1 - d/2
+	want := 2 * (4*math.Pi - 2*math.Pi*h)
+	got := TotalArea(q)
+	if math.Abs(got-want) > 0.03*want {
+		t.Errorf("area %v, want %v (%.2f%% off)", got, want, 100*math.Abs(got-want)/want)
+	}
+}
+
+func TestNormalsAreUnitAndOutward(t *testing.T) {
+	m := molecule.GenerateProtein("s", 200, 3)
+	q := Sample(m, Default())
+	if len(q) == 0 {
+		t.Fatal("no q-points")
+	}
+	c := m.Centroid()
+	outward := 0
+	for _, p := range q {
+		if math.Abs(p.Normal.Norm()-1) > 1e-12 {
+			t.Fatalf("non-unit normal %v", p.Normal)
+		}
+		if p.Normal.Dot(p.Pos.Sub(c)) > 0 {
+			outward++
+		}
+	}
+	// Most surface normals point away from the centroid (crevices on the
+	// rugged blob legitimately produce some inward-facing ones).
+	if frac := float64(outward) / float64(len(q)); frac < 0.6 {
+		t.Errorf("only %.0f%% of normals point outward", frac*100)
+	}
+}
+
+func TestQPointCountScaling(t *testing.T) {
+	// q-points should be O(surface atoms), far fewer than atoms × protos.
+	m := molecule.GenerateProtein("p", 3000, 17)
+	q := Sample(m, Default())
+	perAtom := float64(len(q)) / 3000
+	if perAtom < 0.5 || perAtom > 60 {
+		t.Errorf("%.1f q-points per atom out of plausible range", perAtom)
+	}
+	// Interior culling happened: a fully exposed suite would give
+	// 80 tris × 1 pt = 80 per atom.
+	if perAtom > 70 {
+		t.Errorf("no culling apparent: %.1f per atom", perAtom)
+	}
+}
+
+func TestWeightsPositive(t *testing.T) {
+	m := molecule.GenerateProtein("w", 500, 23)
+	for _, p := range Sample(m, Default()) {
+		if p.Weight <= 0 {
+			t.Fatalf("non-positive weight %v", p.Weight)
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	q1 := Sample(singleAtom(1), Options{})
+	q2 := Sample(singleAtom(1), Options{SubdivLevel: 0, Degree: 1, RadiusScale: 1})
+	if len(q1) != len(q2) {
+		t.Errorf("zero-value options differ from explicit defaults: %d vs %d", len(q1), len(q2))
+	}
+}
+
+func BenchmarkSample2000Atoms(b *testing.B) {
+	m := molecule.GenerateProtein("b", 2000, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Sample(m, Default())
+	}
+}
