@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: verify build vet test race bench bench-kernels
+
+## verify: the tier-1 gate — build, vet, full tests, then race-test the
+## concurrency-bearing packages (scheduler + treecode kernels).
+verify: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/sched/... ./internal/core/...
+
+## bench: every figure/table benchmark at reduced scale.
+bench:
+	$(GO) test -bench=. -benchmem
+
+## bench-kernels: regenerate the committed BENCH_kernels.json micro-benchmark
+## report (flat vs recursive kernels, Chase–Lev vs mutex deque, ParallelFor).
+bench-kernels:
+	$(GO) run ./cmd/benchkernels -o BENCH_kernels.json

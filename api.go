@@ -79,6 +79,10 @@ type Options struct {
 	// ApproximateMath enables the fast inverse-sqrt/exp kernels
 	// (~1.4× faster, few-percent energy shift).
 	ApproximateMath bool
+	// DisableFlatKernels forces the recursive fused traversals instead of
+	// the default two-phase interaction-list path (identical results to
+	// ~1e-12; the flat path is faster — see DESIGN.md).
+	DisableFlatKernels bool
 	// Surface controls surface sampling (zero value = defaults).
 	Surface SurfaceOptions
 }
@@ -120,6 +124,9 @@ func Compute(mol *Molecule, o Options) (*Result, error) {
 	}
 	if o.ApproximateMath {
 		eo.Math = gb.Approximate
+	}
+	if o.DisableFlatKernels {
+		eo.UseFlatKernels = engine.Off
 	}
 	rep, err := engine.RunReal(pr, o.Engine, eo)
 	if err != nil {

@@ -1,0 +1,215 @@
+// Command benchkernels measures the micro-level costs behind the
+// two-phase treecode: the Born and energy evaluation phases (recursive
+// fused traversal vs flat interaction-list kernels, plus the list rebuild
+// cost amortized by ε-sweeps and docking poses), the Chase–Lev
+// work-stealing deque primitives against the mutex-deque baseline, and
+// ParallelFor dispatch through both pools.
+//
+// Results are printed and written as JSON (default BENCH_kernels.json,
+// the file committed at the repository root).
+//
+// Usage:
+//
+//	benchkernels                 # N = 10000 atoms, writes BENCH_kernels.json
+//	benchkernels -n 2000 -o out.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"octgb/internal/core"
+	"octgb/internal/molecule"
+	"octgb/internal/sched"
+	"octgb/internal/surface"
+)
+
+type result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type report struct {
+	NAtoms     int                `json:"n_atoms"`
+	NQPoints   int                `json:"n_qpoints"`
+	GoVersion  string             `json:"go_version"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Results    []result           `json:"results"`
+	Derived    map[string]float64 `json:"derived"`
+}
+
+func main() {
+	n := flag.Int("n", 10000, "atom count for the kernel benchmarks")
+	outPath := flag.String("o", "BENCH_kernels.json", "output JSON path")
+	flag.Parse()
+
+	rep := report{
+		NAtoms:     *n,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Derived:    map[string]float64{},
+	}
+	run := func(name string, fn func(b *testing.B)) float64 {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			fn(b)
+		})
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		rep.Results = append(rep.Results, result{name, ns, r.AllocedBytesPerOp(), r.AllocsPerOp()})
+		fmt.Printf("%-34s %14.1f ns/op %12d B/op %6d allocs/op\n",
+			name, ns, r.AllocedBytesPerOp(), r.AllocsPerOp())
+		return ns
+	}
+
+	// ---- treecode kernels ------------------------------------------------
+	m := molecule.GenerateProtein("bench", *n, 5)
+	qpts := surface.Sample(m, surface.Default())
+	rep.NQPoints = len(qpts)
+	bs := core.NewBornSolver(m, qpts, core.BornConfig{Eps: 0.9})
+	bornList := bs.BuildBornList(0, bs.NumQLeaves())
+
+	recNS := run("born/recursive", func(b *testing.B) {
+		sN, sA := bs.NewAccumulators()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for l := 0; l < bs.NumQLeaves(); l++ {
+				bs.AccumulateQLeaf(l, sN, sA)
+			}
+		}
+	})
+	flatNS := run("born/flat-eval", func(b *testing.B) {
+		sN, sA := bs.NewAccumulators()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bs.EvalBornList(bornList, sN, sA)
+		}
+	})
+	run("born/flat-rebuild", func(b *testing.B) {
+		scratch := new(core.InteractionList)
+		bs.BuildBornListInto(scratch, 0, bs.NumQLeaves()) // warm capacity
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bs.BuildBornListInto(scratch, 0, bs.NumQLeaves())
+		}
+	})
+	rep.Derived["born_eval_speedup"] = recNS / flatNS
+
+	// Born radii through the treecode feed the energy benchmarks.
+	sN, sA := bs.NewAccumulators()
+	bs.EvalBornList(bornList, sN, sA)
+	rTree := make([]float64, m.N())
+	bs.PushIntegrals(sN, sA, 0, int32(m.N()), rTree)
+	es := core.NewEpolSolverFromMolecule(m, bs.RadiiToOriginal(rTree), core.EpolConfig{Eps: 0.9})
+	epolList := es.BuildEpolList(0, es.NumLeaves())
+
+	recNS = run("epol/recursive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var raw float64
+			for l := 0; l < es.NumLeaves(); l++ {
+				e, _ := es.LeafEnergy(l)
+				raw += e
+			}
+			_ = raw
+		}
+	})
+	flatNS = run("epol/flat-eval", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			raw, _ := es.EvalEpolList(epolList)
+			_ = raw
+		}
+	})
+	run("epol/flat-rebuild", func(b *testing.B) {
+		scratch := new(core.InteractionList)
+		es.BuildEpolListInto(scratch, 0, es.NumLeaves()) // warm capacity
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			es.BuildEpolListInto(scratch, 0, es.NumLeaves())
+		}
+	})
+	rep.Derived["epol_eval_speedup"] = recNS / flatNS
+
+	// ---- scheduler primitives -------------------------------------------
+	task := sched.Task(func(int) {})
+	for _, impl := range []struct {
+		name  string
+		mutex bool
+	}{{"chaselev", false}, {"mutex", true}} {
+		clNS := run("deque/push-pop/"+impl.name, func(b *testing.B) {
+			d := sched.NewDequeBench(impl.mutex)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.Push(&task)
+				d.Pop()
+			}
+		})
+		if impl.mutex {
+			rep.Derived["deque_push_pop_speedup"] = clNS / rep.Derived["deque_push_pop_chaselev_ns"]
+		} else {
+			rep.Derived["deque_push_pop_chaselev_ns"] = clNS
+		}
+		stNS := run("deque/steal/"+impl.name, func(b *testing.B) {
+			d := sched.NewDequeBench(impl.mutex)
+			for i := 0; i < 1024; i++ {
+				d.Push(&task)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := d.Steal(); !ok {
+					b.StopTimer()
+					for j := 0; j < 1024; j++ {
+						d.Push(&task)
+					}
+					b.StartTimer()
+				}
+			}
+		})
+		if impl.mutex {
+			rep.Derived["deque_steal_speedup"] = stNS / rep.Derived["deque_steal_chaselev_ns"]
+		} else {
+			rep.Derived["deque_steal_chaselev_ns"] = stNS
+		}
+	}
+
+	work := func(w, lo, hi int) {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += float64(i % 17)
+		}
+		_ = s
+	}
+	for _, impl := range []struct {
+		name string
+		mk   func(p int) *sched.Pool
+	}{{"chaselev", sched.NewPool}, {"mutex", sched.NewMutexPool}} {
+		for _, p := range []int{1, 2, 4, 8} {
+			ns := run(fmt.Sprintf("parallelfor/%s/p=%d", impl.name, p), func(b *testing.B) {
+				pool := impl.mk(p)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					pool.ParallelFor(1<<14, 8, work)
+				}
+			})
+			rep.Derived[fmt.Sprintf("parallelfor_%s_p%d_ns", impl.name, p)] = ns
+		}
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchkernels:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*outPath, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchkernels:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nborn eval speedup (flat vs recursive): %.2fx\n", rep.Derived["born_eval_speedup"])
+	fmt.Printf("epol eval speedup (flat vs recursive): %.2fx\n", rep.Derived["epol_eval_speedup"])
+	fmt.Printf("wrote %s\n", *outPath)
+}

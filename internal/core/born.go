@@ -107,6 +107,11 @@ type BornSolver struct {
 	wn     []geom.Vec3 // w_q·n_q per q-point, T_Q tree order
 	nodeWN []geom.Vec3 // Σ w_q·n_q per T_Q node (the paper's ñ_Q)
 	rcap   float64     // Born-radius cap (molecule diameter)
+
+	// SoA mirrors of wn for the flat near-field kernels, and of nodeWN
+	// for the flat far-field kernels (lists.go).
+	wnX, wnY, wnZ    []float64
+	wnNX, wnNY, wnNZ []float64
 }
 
 // kernel evaluates the configured integrand's denominator given the
@@ -136,18 +141,40 @@ func NewBornSolver(mol *molecule.Molecule, qpts []surface.QPoint, cfg BornConfig
 
 	s.TQ = octree.Build(surface.Positions(qpts), cfg.LeafSize)
 	s.wn = make([]geom.Vec3, len(qpts))
+	s.wnX = make([]float64, len(qpts))
+	s.wnY = make([]float64, len(qpts))
+	s.wnZ = make([]float64, len(qpts))
 	for i, orig := range s.TQ.Perm {
 		q := qpts[orig]
-		s.wn[i] = q.Normal.Scale(q.Weight)
+		w := q.Normal.Scale(q.Weight)
+		s.wn[i] = w
+		s.wnX[i], s.wnY[i], s.wnZ[i] = w.X, w.Y, w.Z
 	}
+	// Per-node ñ_Q aggregated bottom-up: leaves sum their own point range,
+	// internal nodes sum their children. In the linearized layout children
+	// always have larger indices than their parent, so one reverse sweep is
+	// O(nodes + points) instead of the O(points · depth) of summing every
+	// point under every ancestor.
 	s.nodeWN = make([]geom.Vec3, len(s.TQ.Nodes))
-	for n := range s.TQ.Nodes {
+	s.wnNX = make([]float64, len(s.TQ.Nodes))
+	s.wnNY = make([]float64, len(s.TQ.Nodes))
+	s.wnNZ = make([]float64, len(s.TQ.Nodes))
+	for n := len(s.TQ.Nodes) - 1; n >= 0; n-- {
 		nd := &s.TQ.Nodes[n]
 		var sum geom.Vec3
-		for i := nd.Start; i < nd.Start+nd.Count; i++ {
-			sum = sum.Add(s.wn[i])
+		if nd.Leaf {
+			for i := nd.Start; i < nd.Start+nd.Count; i++ {
+				sum = sum.Add(s.wn[i])
+			}
+		} else {
+			for _, ch := range nd.Children {
+				if ch != octree.NoChild {
+					sum = sum.Add(s.nodeWN[ch])
+				}
+			}
 		}
 		s.nodeWN[n] = sum
+		s.wnNX[n], s.wnNY[n], s.wnNZ[n] = sum.X, sum.Y, sum.Z
 	}
 
 	b := mol.Bounds()

@@ -45,6 +45,15 @@ type EpolSolver struct {
 	binOf []int32   // per-atom bin index, tree order
 	binRR []float64 // R_min²·(1+ε)^s for s = i+j, len 2M-1 (precomputed)
 	sep   float64   // separation factor 1 + 2/ε
+
+	// Compressed nonzero-bin layout for the flat far-field kernel
+	// (lists.go): per node, only the occupied bins. nzStart[n]..nzStart[n+1]
+	// index into nzBin (bin index, ascending) and nzQ (charge sum). Most of
+	// a node's M_ε bins are empty — this is the charge layout the flat
+	// kernels iterate so the inner loops carry no zero-skip branches.
+	nzStart []int32
+	nzBin   []int32
+	nzQ     []float64
 }
 
 // NewEpolSolver builds the energy treecode state over an existing atoms
@@ -127,6 +136,20 @@ func NewEpolSolver(tree *octree.Tree, charges, bornR []float64, cfg EpolConfig) 
 	for t := range s.binRR {
 		s.binRR[t] = s.Rmin * s.Rmin * math.Pow(1+cfg.Eps, float64(t))
 	}
+
+	// Compress the node-major bins into the nonzero-only layout.
+	s.nzStart = make([]int32, len(tree.Nodes)+1)
+	for ni := 0; ni < len(tree.Nodes); ni++ {
+		s.nzStart[ni] = int32(len(s.nzBin))
+		row := s.bins[ni*s.M : (ni+1)*s.M]
+		for k, qk := range row {
+			if qk != 0 {
+				s.nzBin = append(s.nzBin, int32(k))
+				s.nzQ = append(s.nzQ, qk)
+			}
+		}
+	}
+	s.nzStart[len(tree.Nodes)] = int32(len(s.nzBin))
 	return s
 }
 
@@ -318,9 +341,12 @@ func (s *EpolSolver) Restrict(residentLeaves []int32) *EpolSolver {
 		}
 	}
 	// Shallow-copy the tree with the poisoned point payload; node geometry
-	// (centers/radii) is skeleton data and stays.
+	// (centers/radii) is skeleton data and stays. The charge bins (and
+	// their compressed form) are skeleton data too and remain shared. The
+	// SoA mirrors must be refilled so the flat kernels see the poison.
 	tree := *s.T
 	tree.Points = ptsCopy
+	tree.FillSoA()
 	out.T = &tree
 	return &out
 }
@@ -333,6 +359,7 @@ func (s *EpolSolver) SetResident(leaf int32, q, R []float64, pts []geom.Vec3) {
 		i := nd.Start + k
 		s.q[i], s.R[i] = q[k], R[k]
 		s.T.Points[i] = pts[k]
+		s.T.X[i], s.T.Y[i], s.T.Z[i] = pts[k].X, pts[k].Y, pts[k].Z
 	}
 }
 

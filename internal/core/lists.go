@@ -1,0 +1,497 @@
+package core
+
+import (
+	"math"
+
+	"octgb/internal/gb"
+	"octgb/internal/octree"
+)
+
+// This file implements the two-phase (traversal / evaluation) form of the
+// treecodes. The recursive traversals in born.go and epol.go interleave
+// the near–far decision with the arithmetic; here the decision tree is run
+// ONCE by an explicit-stack, allocation-light traversal that only records
+// which node pairs interact and how (NodePair lists), and the arithmetic
+// becomes flat, branch-predictable loops over the octrees' SoA coordinate
+// mirrors. The split buys three things:
+//
+//  1. the evaluation loops stream contiguous float64 arrays with the
+//     traversal control flow hoisted out entirely;
+//  2. a built list is reusable across repeated evaluations over the same
+//     geometry (the engines evaluate it with work-stealing workers, and a
+//     list built once serves every math mode);
+//  3. list entries are uniform, independent work items — exactly the
+//     fine-grained tasks the Chase–Lev scheduler load-balances well.
+//
+// The construction mirrors the recursive traversals exactly — same visit
+// order, same acceptance tests — so the recursive path remains the oracle:
+// Stats captured at build time are identical to the recursion's, and
+// evaluating a list reproduces the recursion's sums term for term.
+
+// NodePair is one interaction-list entry: an (A-tree node, B-tree node)
+// pair. For Born lists A is a T_A node and B a T_Q node; for energy lists
+// both come from the atoms octree.
+type NodePair struct {
+	A, B int32
+}
+
+// InteractionList is the output of one list-construction traversal: the
+// exact near-field block pairs, the accepted far-field cell pairs, and the
+// work counters the traversal recorded (identical to what the equivalent
+// recursive traversal would have reported).
+type InteractionList struct {
+	Near  []NodePair
+	Far   []NodePair
+	stats Stats
+}
+
+// Stats returns the traversal's work counters: NodesVisited from the
+// construction phase, FarEval/NearPairs describing the recorded work
+// (which evaluation performs verbatim).
+func (l *InteractionList) Stats() Stats { return l.stats }
+
+// reset empties the list while keeping its capacity, so rebuilds into the
+// same InteractionList (ε-sweeps, per-pose docking rebuilds) reuse the
+// previous pose's backing arrays instead of re-growing them from scratch.
+func (l *InteractionList) reset() {
+	l.Near = l.Near[:0]
+	l.Far = l.Far[:0]
+	l.stats = Stats{}
+}
+
+// pairStack is a tiny explicit stack of node pairs reused across the
+// builders; grow-only, so a solver-scoped builder performs no allocation
+// after warm-up when lists are rebuilt (ε-sweeps).
+type pairStack []NodePair
+
+func (st *pairStack) push(a, b int32) { *st = append(*st, NodePair{a, b}) }
+func (st *pairStack) pop() NodePair {
+	s := *st
+	p := s[len(s)-1]
+	*st = s[:len(s)-1]
+	return p
+}
+
+// ---------------------------------------------------------------------------
+// Born-radius treecode lists
+// ---------------------------------------------------------------------------
+
+// BuildBornList runs the single-tree APPROX-INTEGRALS traversal for the
+// q-leaves [qLo, qHi) and returns the interaction list. Evaluating the
+// list (EvalBornList) is equivalent to running AccumulateQLeaf over the
+// same leaf range.
+func (s *BornSolver) BuildBornList(qLo, qHi int) *InteractionList {
+	return s.BuildBornListInto(new(InteractionList), qLo, qHi)
+}
+
+// BuildBornListInto is BuildBornList rebuilding into an existing list,
+// reusing its backing arrays. Lists at ZDock scales run to tens of
+// millions of entries, so rebuild loops should pass the same list back in
+// rather than re-paying the append growth every pose.
+func (s *BornSolver) BuildBornListInto(l *InteractionList, qLo, qHi int) *InteractionList {
+	l.reset()
+	if len(s.TA.Nodes) == 0 || len(s.TQ.Nodes) == 0 {
+		return l
+	}
+	var stack pairStack
+	for ql := qLo; ql < qHi; ql++ {
+		q := s.TQ.LeafIdx[ql]
+		qn := &s.TQ.Nodes[q]
+		qlo, qhi := s.TQ.PointRange(q)
+		qCount := int64(qhi - qlo)
+		stack = stack[:0]
+		stack.push(0, q)
+		for len(stack) > 0 {
+			p := stack.pop()
+			a := p.A
+			l.stats.NodesVisited++
+			an := &s.TA.Nodes[a]
+			d := an.Center.Dist(qn.Center)
+			if wellSeparated(d, an.Radius, qn.Radius, s.sepC) {
+				l.Far = append(l.Far, NodePair{a, q})
+				l.stats.FarEval++
+				continue
+			}
+			if an.Leaf {
+				l.Near = append(l.Near, NodePair{a, q})
+				l.stats.NearPairs += int64(an.Count) * qCount
+				continue
+			}
+			// Push children in reverse so they pop in the recursion's
+			// (ascending) order — keeps accumulation order, and therefore
+			// floating-point results, aligned with the recursive oracle.
+			for c := 7; c >= 0; c-- {
+				if ch := an.Children[c]; ch != octree.NoChild {
+					stack.push(ch, q)
+				}
+			}
+		}
+	}
+	return l
+}
+
+// BuildBornDualList runs the dual-tree traversal of AccumulateDual and
+// returns its interaction list. Near entries pair a T_A leaf with a T_Q
+// leaf; far entries may involve internal nodes of either tree.
+func (s *BornSolver) BuildBornDualList() *InteractionList {
+	return s.BuildBornDualListInto(new(InteractionList))
+}
+
+// BuildBornDualListInto is BuildBornDualList reusing an existing list's
+// backing arrays.
+func (s *BornSolver) BuildBornDualListInto(l *InteractionList) *InteractionList {
+	l.reset()
+	if len(s.TA.Nodes) == 0 || len(s.TQ.Nodes) == 0 {
+		return l
+	}
+	var stack pairStack
+	stack.push(0, 0)
+	for len(stack) > 0 {
+		p := stack.pop()
+		a, q := p.A, p.B
+		l.stats.NodesVisited++
+		an := &s.TA.Nodes[a]
+		qn := &s.TQ.Nodes[q]
+		d := an.Center.Dist(qn.Center)
+		if wellSeparated(d, an.Radius, qn.Radius, s.sepC) {
+			l.Far = append(l.Far, p)
+			l.stats.FarEval++
+			continue
+		}
+		switch {
+		case an.Leaf && qn.Leaf:
+			l.Near = append(l.Near, p)
+			l.stats.NearPairs += int64(an.Count) * int64(qn.Count)
+		case qn.Leaf || (!an.Leaf && an.Radius >= qn.Radius):
+			for c := 7; c >= 0; c-- {
+				if ch := an.Children[c]; ch != octree.NoChild {
+					stack.push(ch, q)
+				}
+			}
+		default:
+			for c := 7; c >= 0; c-- {
+				if ch := qn.Children[c]; ch != octree.NoChild {
+					stack.push(a, ch)
+				}
+			}
+		}
+	}
+	return l
+}
+
+// EvalBornNearPair evaluates one near-field list entry exactly: every
+// q-point under q against every atom under the T_A leaf a, accumulating
+// into sAtom (tree order). The q-side arrays are sliced to the leaf range
+// and clipped to a common length up front so the compiler proves the
+// inner-loop indexing in bounds and drops the per-element checks — the
+// loops then stream six contiguous float64 arrays with one branch (the
+// coincident-point guard, essentially never taken).
+func (s *BornSolver) EvalBornNearPair(a, q int32, sAtom []float64) {
+	alo, ahi := s.TA.PointRange(a)
+	qlo, qhi := s.TQ.PointRange(q)
+	ax, ay, az := s.TA.X, s.TA.Y, s.TA.Z
+	qx := s.TQ.X[qlo:qhi]
+	n := len(qx)
+	qy := s.TQ.Y[qlo:qhi][:n]
+	qz := s.TQ.Z[qlo:qhi][:n]
+	wx := s.wnX[qlo:qhi][:n]
+	wy := s.wnY[qlo:qhi][:n]
+	wz := s.wnZ[qlo:qhi][:n]
+	if s.r4 {
+		for i := alo; i < ahi; i++ {
+			px, py, pz := ax[i], ay[i], az[i]
+			var acc float64
+			for j := 0; j < n; j++ {
+				dx, dy, dz := qx[j]-px, qy[j]-py, qz[j]-pz
+				d2 := dx*dx + dy*dy + dz*dz
+				if d2 < 1e-12 {
+					continue // q-point coincides with the atom center
+				}
+				acc += (wx[j]*dx + wy[j]*dy + wz[j]*dz) * (1 / (d2 * d2))
+			}
+			sAtom[i] += acc
+		}
+		return
+	}
+	for i := alo; i < ahi; i++ {
+		px, py, pz := ax[i], ay[i], az[i]
+		var acc float64
+		for j := 0; j < n; j++ {
+			dx, dy, dz := qx[j]-px, qy[j]-py, qz[j]-pz
+			d2 := dx*dx + dy*dy + dz*dz
+			if d2 < 1e-12 {
+				continue
+			}
+			acc += (wx[j]*dx + wy[j]*dy + wz[j]*dz) * (1 / (d2 * d2 * d2))
+		}
+		sAtom[i] += acc
+	}
+}
+
+// EvalBornNearRange evaluates the near entries [lo, hi) of the list.
+// Entries accumulate into disjoint sAtom rows only when their T_A leaves
+// are disjoint; parallel callers must partition entries, not rows.
+func (s *BornSolver) EvalBornNearRange(l *InteractionList, lo, hi int, sAtom []float64) {
+	for _, p := range l.Near[lo:hi] {
+		s.EvalBornNearPair(p.A, p.B, sAtom)
+	}
+}
+
+// EvalBornFarRange evaluates the far entries [lo, hi) of the list: each
+// entry is one pseudo q-point (Q's aggregate ñ_Q at its center) against
+// the pseudo atom at A's center, into sNode[A]. Single-tree lists emit
+// runs of entries sharing a q-leaf, so the q-side loads are cached across
+// the run; the squared distance is formed directly from the SoA center
+// mirrors rather than via the recursion's sqrt (the values differ from
+// the oracle only in the last couple of ulps).
+func (s *BornSolver) EvalBornFarRange(l *InteractionList, lo, hi int, sNode []float64) {
+	far := l.Far[lo:hi]
+	acx, acy, acz := s.TA.CX, s.TA.CY, s.TA.CZ
+	qcx, qcy, qcz := s.TQ.CX, s.TQ.CY, s.TQ.CZ
+	wqx, wqy, wqz := s.wnNX, s.wnNY, s.wnNZ
+	lastQ := int32(-1)
+	var cqx, cqy, cqz, nx, ny, nz float64
+	if s.r4 {
+		for _, p := range far {
+			if p.B != lastQ {
+				lastQ = p.B
+				cqx, cqy, cqz = qcx[p.B], qcy[p.B], qcz[p.B]
+				nx, ny, nz = wqx[p.B], wqy[p.B], wqz[p.B]
+			}
+			dx, dy, dz := cqx-acx[p.A], cqy-acy[p.A], cqz-acz[p.A]
+			d2 := dx*dx + dy*dy + dz*dz
+			sNode[p.A] += (nx*dx + ny*dy + nz*dz) * (1 / (d2 * d2))
+		}
+		return
+	}
+	for _, p := range far {
+		if p.B != lastQ {
+			lastQ = p.B
+			cqx, cqy, cqz = qcx[p.B], qcy[p.B], qcz[p.B]
+			nx, ny, nz = wqx[p.B], wqy[p.B], wqz[p.B]
+		}
+		dx, dy, dz := cqx-acx[p.A], cqy-acy[p.A], cqz-acz[p.A]
+		d2 := dx*dx + dy*dy + dz*dz
+		sNode[p.A] += (nx*dx + ny*dy + nz*dz) * (1 / (d2 * d2 * d2))
+	}
+}
+
+// EvalBornList evaluates a whole interaction list serially into the
+// caller's accumulators and returns the list's Stats — the flat-path
+// equivalent of the recursive traversal that built the list.
+func (s *BornSolver) EvalBornList(l *InteractionList, sNode, sAtom []float64) Stats {
+	s.EvalBornFarRange(l, 0, len(l.Far), sNode)
+	s.EvalBornNearRange(l, 0, len(l.Near), sAtom)
+	return l.stats
+}
+
+// ---------------------------------------------------------------------------
+// Energy (APPROX-EPOL) treecode lists
+// ---------------------------------------------------------------------------
+
+// BuildEpolList runs the leaf-driven APPROX-EPOL traversal for the
+// atoms-octree leaves [vLo, vHi) and returns the interaction list.
+// Evaluating it is equivalent to summing LeafEnergy over the same range.
+func (s *EpolSolver) BuildEpolList(vLo, vHi int) *InteractionList {
+	return s.BuildEpolListInto(new(InteractionList), vLo, vHi)
+}
+
+// BuildEpolListInto is BuildEpolList reusing an existing list's backing
+// arrays.
+func (s *EpolSolver) BuildEpolListInto(l *InteractionList, vLo, vHi int) *InteractionList {
+	l.reset()
+	if len(s.T.Nodes) == 0 {
+		return l
+	}
+	var stack pairStack
+	for vl := vLo; vl < vHi; vl++ {
+		v := s.T.LeafIdx[vl]
+		vn := &s.T.Nodes[v]
+		stack = stack[:0]
+		stack.push(0, v)
+		for len(stack) > 0 {
+			p := stack.pop()
+			u := p.A
+			l.stats.NodesVisited++
+			un := &s.T.Nodes[u]
+			if un.Leaf {
+				l.Near = append(l.Near, NodePair{u, v})
+				l.stats.NearPairs += int64(un.Count) * int64(vn.Count)
+				continue
+			}
+			d := un.Center.Dist(vn.Center)
+			if d > (un.Radius+vn.Radius)*s.sep {
+				l.Far = append(l.Far, NodePair{u, v})
+				l.stats.FarEval += s.nnz(u) * s.nnz(v)
+				continue
+			}
+			for c := 7; c >= 0; c-- {
+				if ch := un.Children[c]; ch != octree.NoChild {
+					stack.push(ch, v)
+				}
+			}
+		}
+	}
+	return l
+}
+
+// BuildEpolDualList runs the dual-tree energy traversal of EnergyDual and
+// returns its interaction list.
+func (s *EpolSolver) BuildEpolDualList() *InteractionList {
+	return s.BuildEpolDualListInto(new(InteractionList))
+}
+
+// BuildEpolDualListInto is BuildEpolDualList reusing an existing list's
+// backing arrays.
+func (s *EpolSolver) BuildEpolDualListInto(l *InteractionList) *InteractionList {
+	l.reset()
+	if len(s.T.Nodes) == 0 {
+		return l
+	}
+	var stack pairStack
+	stack.push(0, 0)
+	for len(stack) > 0 {
+		p := stack.pop()
+		u, v := p.A, p.B
+		l.stats.NodesVisited++
+		un := &s.T.Nodes[u]
+		vn := &s.T.Nodes[v]
+		d := un.Center.Dist(vn.Center)
+		if u != v && d > (un.Radius+vn.Radius)*s.sep {
+			l.Far = append(l.Far, p)
+			l.stats.FarEval += s.nnz(u) * s.nnz(v)
+			continue
+		}
+		if un.Leaf && vn.Leaf {
+			l.Near = append(l.Near, p)
+			l.stats.NearPairs += int64(un.Count) * int64(vn.Count)
+			continue
+		}
+		if vn.Leaf || (!un.Leaf && un.Radius >= vn.Radius) {
+			for c := 7; c >= 0; c-- {
+				if ch := un.Children[c]; ch != octree.NoChild {
+					stack.push(ch, v)
+				}
+			}
+		} else {
+			for c := 7; c >= 0; c-- {
+				if ch := vn.Children[c]; ch != octree.NoChild {
+					stack.push(u, ch)
+				}
+			}
+		}
+	}
+	return l
+}
+
+// nnz returns the number of occupied Born-radius bins of a node — the
+// number of far-field terms a bin-pair approximation against it costs.
+func (s *EpolSolver) nnz(n int32) int64 {
+	return int64(s.nzStart[n+1] - s.nzStart[n])
+}
+
+// EvalEpolNearPair evaluates one exact near-field entry: all ordered atom
+// pairs (u-leaf rows × v-leaf columns), including self pairs when the
+// leaves coincide. Returns the raw (unscaled) sum. The v-side arrays are
+// pre-sliced to the leaf range (bounds checks hoisted); the self-pair
+// test compares against the row's index within the slice.
+func (s *EpolSolver) EvalEpolNearPair(u, v int32) float64 {
+	ulo, uhi := s.T.PointRange(u)
+	vlo, vhi := s.T.PointRange(v)
+	x, y, z := s.T.X, s.T.Y, s.T.Z
+	xv := x[vlo:vhi]
+	n := len(xv)
+	yv := y[vlo:vhi][:n]
+	zv := z[vlo:vhi][:n]
+	qv := s.q[vlo:vhi][:n]
+	Rv := s.R[vlo:vhi][:n]
+	var sum float64
+	if s.cfg.Math == gb.Approximate {
+		for i := ulo; i < uhi; i++ {
+			px, py, pz, qi, ri := x[i], y[i], z[i], s.q[i], s.R[i]
+			diag := int(i - vlo)
+			for j := 0; j < n; j++ {
+				if j == diag {
+					sum += qi * qi / ri
+					continue
+				}
+				dx, dy, dz := px-xv[j], py-yv[j], pz-zv[j]
+				d2 := dx*dx + dy*dy + dz*dz
+				rr := ri * Rv[j]
+				sum += qi * qv[j] * gb.FastInvSqrt(d2+rr*gb.FastExp(-d2/(4*rr)))
+			}
+		}
+		return sum
+	}
+	for i := ulo; i < uhi; i++ {
+		px, py, pz, qi, ri := x[i], y[i], z[i], s.q[i], s.R[i]
+		diag := int(i - vlo)
+		for j := 0; j < n; j++ {
+			if j == diag {
+				sum += qi * qi / ri
+				continue
+			}
+			dx, dy, dz := px-xv[j], py-yv[j], pz-zv[j]
+			d2 := dx*dx + dy*dy + dz*dz
+			rr := ri * Rv[j]
+			sum += qi * qv[j] / math.Sqrt(d2+rr*math.Exp(-d2/(4*rr)))
+		}
+	}
+	return sum
+}
+
+// EvalEpolFarPair evaluates one far-field bin-pair entry over the
+// compressed nonzero-bin layout. Returns the raw sum. The squared center
+// distance comes straight from the SoA node-center mirrors (no sqrt).
+func (s *EpolSolver) EvalEpolFarPair(u, v int32) float64 {
+	cx, cy, cz := s.T.CX, s.T.CY, s.T.CZ
+	ddx, ddy, ddz := cx[u]-cx[v], cy[u]-cy[v], cz[u]-cz[v]
+	d2 := ddx*ddx + ddy*ddy + ddz*ddz
+	uLo, uHi := s.nzStart[u], s.nzStart[u+1]
+	vLo, vHi := s.nzStart[v], s.nzStart[v+1]
+	nzBin, nzQ, binRR := s.nzBin, s.nzQ, s.binRR
+	var sum float64
+	if s.cfg.Math == gb.Approximate {
+		for a := uLo; a < uHi; a++ {
+			qi, bi := nzQ[a], nzBin[a]
+			for b := vLo; b < vHi; b++ {
+				rr := binRR[bi+nzBin[b]]
+				sum += qi * nzQ[b] * gb.FastInvSqrt(d2+rr*gb.FastExp(-d2/(4*rr)))
+			}
+		}
+		return sum
+	}
+	for a := uLo; a < uHi; a++ {
+		qi, bi := nzQ[a], nzBin[a]
+		for b := vLo; b < vHi; b++ {
+			rr := binRR[bi+nzBin[b]]
+			sum += qi * nzQ[b] / math.Sqrt(d2+rr*math.Exp(-d2/(4*rr)))
+		}
+	}
+	return sum
+}
+
+// EvalEpolNearRange sums the near entries [lo, hi) of the list.
+func (s *EpolSolver) EvalEpolNearRange(l *InteractionList, lo, hi int) float64 {
+	var sum float64
+	for _, p := range l.Near[lo:hi] {
+		sum += s.EvalEpolNearPair(p.A, p.B)
+	}
+	return sum
+}
+
+// EvalEpolFarRange sums the far entries [lo, hi) of the list.
+func (s *EpolSolver) EvalEpolFarRange(l *InteractionList, lo, hi int) float64 {
+	var sum float64
+	for _, p := range l.Far[lo:hi] {
+		sum += s.EvalEpolFarPair(p.A, p.B)
+	}
+	return sum
+}
+
+// EvalEpolList evaluates a whole energy interaction list serially and
+// returns the raw ordered-pair sum (scale by EnergyScale) plus the list's
+// Stats.
+func (s *EpolSolver) EvalEpolList(l *InteractionList) (float64, Stats) {
+	return s.EvalEpolNearRange(l, 0, len(l.Near)) + s.EvalEpolFarRange(l, 0, len(l.Far)), l.stats
+}

@@ -35,11 +35,16 @@ func RunDistributedDataEnergy(pr *Problem, P int, o Options) (float64, error) {
 		P = 1
 	}
 	// Shared read-only setup: Born radii via the standard pipeline.
+	useFlat := o.UseFlatKernels.enabled(true)
 	bc := core.BornConfig{Eps: o.BornEps, CriterionPower: o.CriterionPower, LeafSize: o.LeafSize}
 	bs := core.NewBornSolver(pr.Mol, pr.QPts, bc)
 	sNode, sAtom := bs.NewAccumulators()
-	for l := 0; l < bs.NumQLeaves(); l++ {
-		bs.AccumulateQLeaf(l, sNode, sAtom)
+	if useFlat {
+		bs.EvalBornList(bs.BuildBornList(0, bs.NumQLeaves()), sNode, sAtom)
+	} else {
+		for l := 0; l < bs.NumQLeaves(); l++ {
+			bs.AccumulateQLeaf(l, sNode, sAtom)
+		}
 	}
 	rTree := make([]float64, pr.Mol.N())
 	bs.PushIntegrals(sNode, sAtom, 0, int32(pr.Mol.N()), rTree)
@@ -153,11 +158,19 @@ func RunDistributedDataEnergy(pr *Problem, P int, o Options) (float64, error) {
 			local.SetResident(leaf, q, rad, pts)
 		}
 
-		// Energy over owned leaves with only resident data.
+		// Energy over owned leaves with only resident data. The flat path
+		// exercises the same residency contract: list construction reads
+		// only the shared skeleton, and the SoA kernels touch only the
+		// resident point payloads (non-resident coordinates are NaN, so a
+		// finite sum still proves the ghost set sufficient).
 		var raw float64
-		for l := seg.Lo; l < seg.Hi; l++ {
-			e, _ := local.LeafEnergy(l)
-			raw += e
+		if useFlat {
+			raw, _ = local.EvalEpolList(local.BuildEpolList(seg.Lo, seg.Hi))
+		} else {
+			for l := seg.Lo; l < seg.Hi; l++ {
+				e, _ := local.LeafEnergy(l)
+				raw += e
+			}
 		}
 		if math.IsNaN(raw) {
 			return fmt.Errorf("engine: rank %d touched non-resident data (ghost set insufficient)", rank)

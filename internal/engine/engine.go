@@ -64,6 +64,30 @@ const (
 	AtomBased
 )
 
+// Toggle is a three-state option: Auto (the zero value) resolves to the
+// option's documented default, On and Off force it.
+type Toggle int
+
+const (
+	// Auto selects the option's default behavior.
+	Auto Toggle = iota
+	// On forces the option on.
+	On
+	// Off forces the option off.
+	Off
+)
+
+// enabled resolves the toggle against the option's default.
+func (t Toggle) enabled(def bool) bool {
+	switch t {
+	case On:
+		return true
+	case Off:
+		return false
+	}
+	return def
+}
+
 // Options configures an engine run.
 type Options struct {
 	// Ranks is the number of MPI processes P (OctCilk and Naive use 1).
@@ -82,6 +106,16 @@ type Options struct {
 	CriterionPower int
 	// Division selects node-based (default) or atom-based division.
 	Division Division
+	// UseFlatKernels selects the two-phase treecode in the real engines:
+	// the traversal runs once as list construction and the arithmetic as
+	// flat SoA kernels over the recorded interaction lists (see
+	// core.InteractionList). Defaults to on (Auto); Off forces the
+	// recursive fused traversal, which is kept as the reference oracle.
+	// Work counters are identical either way for the distributed engines;
+	// OctCilk's flat path reports the full dual traversal's NodesVisited
+	// where the recursive path omits the frontier pre-expansion steps.
+	// Energies and radii agree to ~1e-12 (summation order differs).
+	UseFlatKernels Toggle
 	// WeightedStatic enables explicit work-weighted static balancing
 	// across ranks: leaf segments are cut by measured per-leaf work
 	// instead of leaf count. This implements the "explicit load

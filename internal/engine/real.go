@@ -92,28 +92,37 @@ func runNaiveReal(pr *Problem, o Options) RealReport {
 	return rep
 }
 
-// runCilkReal executes the dual-tree algorithm with one rank and a
-// work-stealing pool over a dual-tree frontier.
-func runCilkReal(pr *Problem, o Options) RealReport {
-	bc := core.BornConfig{Eps: o.BornEps, CriterionPower: o.CriterionPower, LeafSize: o.LeafSize}
-	bs := core.NewBornSolver(pr.Mol, pr.QPts, bc)
-	pool := sched.NewPool(o.Threads)
-	n := pr.Mol.N()
-
-	var rep RealReport
-	frontier := bs.DualFrontier(8 * o.Threads * o.Threads)
+// evalBornListParallel evaluates a Born interaction list with the pool —
+// far and near entries form one combined index space that the workers
+// chunk and steal — reducing per-worker private accumulators into
+// sNode/sAtom.
+func evalBornListParallel(bs *core.BornSolver, list *core.InteractionList, pool *sched.Pool, sNode, sAtom []float64) sched.Stats {
+	nf := len(list.Far)
+	total := nf + len(list.Near)
+	if total == 0 {
+		return sched.Stats{}
+	}
 	accN := make([][]float64, pool.Workers())
 	accA := make([][]float64, pool.Workers())
-	statsW := make([]core.Stats, pool.Workers())
-	s1 := pool.ParallelFor(len(frontier), 1, func(w, lo, hi int) {
+	st := pool.ParallelFor(total, 0, func(w, lo, hi int) {
 		if accN[w] == nil {
 			accN[w], accA[w] = bs.NewAccumulators()
 		}
-		for i := lo; i < hi; i++ {
-			statsW[w].Add(bs.AccumulateDualPair(frontier[i][0], frontier[i][1], accN[w], accA[w]))
+		if lo < nf {
+			fhi := hi
+			if fhi > nf {
+				fhi = nf
+			}
+			bs.EvalBornFarRange(list, lo, fhi, accN[w])
+		}
+		if hi > nf {
+			nlo := lo
+			if nlo < nf {
+				nlo = nf
+			}
+			bs.EvalBornNearRange(list, nlo-nf, hi-nf, accA[w])
 		}
 	})
-	sNode, sAtom := bs.NewAccumulators()
 	for w := range accN {
 		if accN[w] == nil {
 			continue
@@ -124,27 +133,114 @@ func runCilkReal(pr *Problem, o Options) RealReport {
 		for i := range sAtom {
 			sAtom[i] += accA[w][i]
 		}
-		rep.BornStats.Add(statsW[w])
+	}
+	return st
+}
+
+// evalEpolListParallel evaluates an energy interaction list with the pool
+// and returns the raw ordered-pair sum.
+func evalEpolListParallel(es *core.EpolSolver, list *core.InteractionList, pool *sched.Pool) (float64, sched.Stats) {
+	nn := len(list.Near)
+	total := nn + len(list.Far)
+	if total == 0 {
+		return 0, sched.Stats{}
+	}
+	partial := make([]float64, pool.Workers())
+	st := pool.ParallelFor(total, 0, func(w, lo, hi int) {
+		var sum float64
+		if lo < nn {
+			nhi := hi
+			if nhi > nn {
+				nhi = nn
+			}
+			sum += es.EvalEpolNearRange(list, lo, nhi)
+		}
+		if hi > nn {
+			flo := lo
+			if flo < nn {
+				flo = nn
+			}
+			sum += es.EvalEpolFarRange(list, flo-nn, hi-nn)
+		}
+		partial[w] += sum
+	})
+	var raw float64
+	for _, p := range partial {
+		raw += p
+	}
+	return raw, st
+}
+
+// runCilkReal executes the dual-tree algorithm with one rank and a
+// work-stealing pool: by default the two-phase flat path (dual interaction
+// lists + SoA kernels), or the recursive dual-tree frontier when
+// UseFlatKernels is Off.
+func runCilkReal(pr *Problem, o Options) RealReport {
+	bc := core.BornConfig{Eps: o.BornEps, CriterionPower: o.CriterionPower, LeafSize: o.LeafSize}
+	bs := core.NewBornSolver(pr.Mol, pr.QPts, bc)
+	pool := sched.NewPool(o.Threads)
+	n := pr.Mol.N()
+	useFlat := o.UseFlatKernels.enabled(true)
+
+	var rep RealReport
+	var s1 sched.Stats
+	sNode, sAtom := bs.NewAccumulators()
+	if useFlat {
+		list := bs.BuildBornDualList()
+		rep.BornStats = list.Stats()
+		s1 = evalBornListParallel(bs, list, pool, sNode, sAtom)
+	} else {
+		frontier := bs.DualFrontier(8 * o.Threads * o.Threads)
+		accN := make([][]float64, pool.Workers())
+		accA := make([][]float64, pool.Workers())
+		statsW := make([]core.Stats, pool.Workers())
+		s1 = pool.ParallelFor(len(frontier), 1, func(w, lo, hi int) {
+			if accN[w] == nil {
+				accN[w], accA[w] = bs.NewAccumulators()
+			}
+			for i := lo; i < hi; i++ {
+				statsW[w].Add(bs.AccumulateDualPair(frontier[i][0], frontier[i][1], accN[w], accA[w]))
+			}
+		})
+		for w := range accN {
+			if accN[w] == nil {
+				continue
+			}
+			for i := range sNode {
+				sNode[i] += accN[w][i]
+			}
+			for i := range sAtom {
+				sAtom[i] += accA[w][i]
+			}
+			rep.BornStats.Add(statsW[w])
+		}
 	}
 	rTree := make([]float64, n)
 	bs.PushIntegrals(sNode, sAtom, 0, int32(n), rTree)
 	rep.BornRadii = bs.RadiiToOriginal(rTree)
 
 	es := core.NewEpolSolver(bs.TA, pr.Charges, rep.BornRadii, core.EpolConfig{Eps: o.EpolEps, Math: o.Math})
-	ef := es.EpolDualFrontier(8 * o.Threads * o.Threads)
-	partial := make([]float64, pool.Workers())
-	estatsW := make([]core.Stats, pool.Workers())
-	s2 := pool.ParallelFor(len(ef), 1, func(w, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			e, st := es.EnergyDualPair(ef[i][0], ef[i][1])
-			partial[w] += e
-			estatsW[w].Add(st)
-		}
-	})
 	var raw float64
-	for w := range partial {
-		raw += partial[w]
-		rep.EpolStats.Add(estatsW[w])
+	var s2 sched.Stats
+	if useFlat {
+		list := es.BuildEpolDualList()
+		rep.EpolStats = list.Stats()
+		raw, s2 = evalEpolListParallel(es, list, pool)
+	} else {
+		ef := es.EpolDualFrontier(8 * o.Threads * o.Threads)
+		partial := make([]float64, pool.Workers())
+		estatsW := make([]core.Stats, pool.Workers())
+		s2 = pool.ParallelFor(len(ef), 1, func(w, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				e, st := es.EnergyDualPair(ef[i][0], ef[i][1])
+				partial[w] += e
+				estatsW[w].Add(st)
+			}
+		})
+		for w := range partial {
+			raw += partial[w]
+			rep.EpolStats.Add(estatsW[w])
+		}
 	}
 	rep.Energy = raw * core.EnergyScale()
 	rep.Sched = sched.Stats{
@@ -218,14 +314,26 @@ func runRank(c cluster.Comm, bs *core.BornSolver, pr *Problem, o Options) (RealR
 		mark = now
 	}
 
-	// Step 2: approximated integrals for this rank's q-leaf segment.
+	// Step 2: approximated integrals for this rank's q-leaf segment. The
+	// flat path builds the segment's interaction list once and streams it;
+	// the recursive path fuses traversal and arithmetic per q-leaf.
+	useFlat := o.UseFlatKernels.enabled(true)
 	sNode, sAtom := bs.NewAccumulators()
 	seg := partition.ForRank(bs.NumQLeaves(), P, rank)
-	if o.Threads == 1 {
+	switch {
+	case useFlat:
+		list := bs.BuildBornList(seg.Lo, seg.Hi)
+		rep.BornStats = list.Stats()
+		if o.Threads == 1 {
+			bs.EvalBornList(list, sNode, sAtom)
+		} else {
+			rep.Sched = evalBornListParallel(bs, list, pool, sNode, sAtom)
+		}
+	case o.Threads == 1:
 		for l := seg.Lo; l < seg.Hi; l++ {
 			rep.BornStats.Add(bs.AccumulateQLeaf(l, sNode, sAtom))
 		}
-	} else {
+	default:
 		accN := make([][]float64, pool.Workers())
 		accA := make([][]float64, pool.Workers())
 		statsW := make([]core.Stats, pool.Workers())
@@ -285,13 +393,26 @@ func runRank(c cluster.Comm, bs *core.BornSolver, pr *Problem, o Options) (RealR
 	es := core.NewEpolSolver(bs.TA, pr.Charges, rep.BornRadii, core.EpolConfig{Eps: o.EpolEps, Math: o.Math})
 	lseg := partition.ForRank(es.NumLeaves(), P, rank)
 	var raw float64
-	if o.Threads == 1 {
+	switch {
+	case useFlat:
+		list := es.BuildEpolList(lseg.Lo, lseg.Hi)
+		rep.EpolStats.Add(list.Stats())
+		if o.Threads == 1 {
+			raw, _ = es.EvalEpolList(list)
+		} else {
+			var st sched.Stats
+			raw, st = evalEpolListParallel(es, list, pool)
+			rep.Sched.Executed += st.Executed
+			rep.Sched.Steals += st.Steals
+			rep.Sched.FailedSteals += st.FailedSteals
+		}
+	case o.Threads == 1:
 		for l := lseg.Lo; l < lseg.Hi; l++ {
 			e, st := es.LeafEnergy(l)
 			raw += e
 			rep.EpolStats.Add(st)
 		}
-	} else {
+	default:
 		partial := make([]float64, pool.Workers())
 		statsW := make([]core.Stats, pool.Workers())
 		st := pool.ParallelFor(lseg.Len(), 1, func(w, lo, hi int) {

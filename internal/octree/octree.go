@@ -48,6 +48,36 @@ type Tree struct {
 	Perm     []int32     // Perm[i] = original index of Points[i]
 	LeafIdx  []int32     // node indices of leaves, in tree order
 	LeafSize int
+
+	// X, Y, Z are structure-of-arrays mirrors of Points, maintained by
+	// Build, Transform and FillSoA. The flat evaluation kernels
+	// (internal/core's interaction lists) stream these instead of the
+	// AoS Points so each inner loop touches three contiguous float64
+	// streams.
+	X, Y, Z []float64
+
+	// CX, CY, CZ mirror the node centers the same way. Far-field list
+	// evaluation reads only a node's center; streaming these avoids
+	// striding through the ~120-byte Node structs once per far entry.
+	CX, CY, CZ []float64
+}
+
+// FillSoA (re)derives the X/Y/Z coordinate mirrors from Points and the
+// CX/CY/CZ mirrors from the node centers. Fresh slices are always
+// allocated so that shallow Tree copies which replace Points (e.g.
+// NaN-poisoned restricted solvers) never alias the source tree's mirrors.
+func (t *Tree) FillSoA() {
+	n := len(t.Points)
+	t.X, t.Y, t.Z = make([]float64, n), make([]float64, n), make([]float64, n)
+	for i, p := range t.Points {
+		t.X[i], t.Y[i], t.Z[i] = p.X, p.Y, p.Z
+	}
+	m := len(t.Nodes)
+	t.CX, t.CY, t.CZ = make([]float64, m), make([]float64, m), make([]float64, m)
+	for i := range t.Nodes {
+		c := t.Nodes[i].Center
+		t.CX[i], t.CY[i], t.CZ[i] = c.X, c.Y, c.Z
+	}
 }
 
 // Build constructs an octree over pts with the given maximum leaf size
@@ -66,6 +96,7 @@ func Build(pts []geom.Vec3, leafSize int) *Tree {
 		t.Perm[i] = int32(i)
 	}
 	if len(pts) == 0 {
+		t.FillSoA()
 		return t
 	}
 	root := geom.NewAABB(pts...).Cube()
@@ -84,6 +115,7 @@ func Build(pts []geom.Vec3, leafSize int) *Tree {
 			t.LeafIdx = append(t.LeafIdx, int32(i))
 		}
 	}
+	t.FillSoA()
 	return t
 }
 
@@ -218,7 +250,9 @@ func (t *Tree) Height() int {
 // full copy, the paper's §IV-B memory argument).
 func (t *Tree) MemoryBytes() int64 {
 	const nodeBytes = int64(8*6+8*4+8*4+4+4+4+8) + 8 // struct estimate incl. padding
-	return int64(len(t.Nodes))*nodeBytes + int64(len(t.Points))*24 + int64(len(t.Perm))*4
+	// Points (AoS) plus the X/Y/Z SoA mirrors: 24 + 24 bytes per point;
+	// nodes additionally carry the 24-byte CX/CY/CZ center mirrors.
+	return int64(len(t.Nodes))*(nodeBytes+24) + int64(len(t.Points))*48 + int64(len(t.Perm))*4
 }
 
 // Transform returns a copy of the tree with the rigid transform applied to
@@ -246,6 +280,8 @@ func (t *Tree) Transform(m geom.Rigid) *Tree {
 		r := geom.V(nd.Radius, nd.Radius, nd.Radius)
 		nd.Box = geom.AABB{Min: nd.Center.Sub(r), Max: nd.Center.Add(r)}
 	}
+	// After the nodes: FillSoA mirrors both points and node centers.
+	out.FillSoA()
 	return out
 }
 
@@ -259,6 +295,23 @@ func (t *Tree) Validate() error {
 			return fmt.Errorf("empty tree has %d nodes", len(t.Nodes))
 		}
 		return nil
+	}
+	if len(t.X) != len(t.Points) || len(t.Y) != len(t.Points) || len(t.Z) != len(t.Points) {
+		return fmt.Errorf("SoA mirror lengths (%d,%d,%d) != %d points", len(t.X), len(t.Y), len(t.Z), len(t.Points))
+	}
+	for i, p := range t.Points {
+		if t.X[i] != p.X || t.Y[i] != p.Y || t.Z[i] != p.Z {
+			return fmt.Errorf("SoA mirror diverges from Points at %d", i)
+		}
+	}
+	if len(t.CX) != len(t.Nodes) || len(t.CY) != len(t.Nodes) || len(t.CZ) != len(t.Nodes) {
+		return fmt.Errorf("node-center mirror lengths (%d,%d,%d) != %d nodes", len(t.CX), len(t.CY), len(t.CZ), len(t.Nodes))
+	}
+	for i := range t.Nodes {
+		c := t.Nodes[i].Center
+		if t.CX[i] != c.X || t.CY[i] != c.Y || t.CZ[i] != c.Z {
+			return fmt.Errorf("node-center mirror diverges at node %d", i)
+		}
 	}
 	seen := make([]bool, len(t.Perm))
 	for _, p := range t.Perm {

@@ -1,0 +1,51 @@
+package octree
+
+import (
+	"math/rand"
+	"testing"
+
+	"octgb/internal/geom"
+)
+
+func randPoints(n int, seed int64) []geom.Vec3 {
+	r := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Vec3, n)
+	for i := range pts {
+		pts[i] = geom.V(r.Float64()*40-20, r.Float64()*40-20, r.Float64()*40-20)
+	}
+	return pts
+}
+
+func TestSoAMirrorsMatchPoints(t *testing.T) {
+	for _, n := range []int{0, 1, 17, 500} {
+		tr := Build(randPoints(n, int64(n)+1), 0)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(tr.X) != n || len(tr.Y) != n || len(tr.Z) != n {
+			t.Fatalf("n=%d: SoA lengths %d/%d/%d", n, len(tr.X), len(tr.Y), len(tr.Z))
+		}
+	}
+}
+
+func TestSoAMirrorsFollowTransform(t *testing.T) {
+	tr := Build(randPoints(300, 7), 0)
+	m := geom.RotationAxisAngle(geom.V(0, 0, 1), 0.7).Compose(geom.Translation(geom.V(3, -2, 1)))
+	tt := tr.Transform(m)
+	if err := tt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Mirrors must be fresh slices, not aliases of the source tree's.
+	if len(tr.X) > 0 && &tt.X[0] == &tr.X[0] {
+		t.Error("Transform aliased the source tree's SoA mirrors")
+	}
+}
+
+func TestFillSoAReallocates(t *testing.T) {
+	tr := Build(randPoints(64, 11), 0)
+	oldX := tr.X
+	tr.FillSoA()
+	if len(oldX) > 0 && &tr.X[0] == &oldX[0] {
+		t.Error("FillSoA reused the previous backing array")
+	}
+}

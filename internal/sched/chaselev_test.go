@@ -1,0 +1,330 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestDequeOwnerLIFO: the owner pops in reverse push order.
+func TestDequeOwnerLIFO(t *testing.T) {
+	d := NewDequeBench(false)
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		t := Task(func(int) { got = append(got, i) })
+		d.Push(&t)
+	}
+	for {
+		task, ok := d.Pop()
+		if !ok {
+			break
+		}
+		(*task)(0)
+	}
+	if len(got) != 100 {
+		t.Fatalf("popped %d of 100", len(got))
+	}
+	for i, v := range got {
+		if v != 99-i {
+			t.Fatalf("pop order not LIFO at %d: got %d", i, v)
+		}
+	}
+}
+
+// TestDequeStealFIFO: a thief takes the oldest task first.
+func TestDequeStealFIFO(t *testing.T) {
+	d := NewDequeBench(false)
+	var got []int
+	for i := 0; i < 50; i++ {
+		i := i
+		t := Task(func(int) { got = append(got, i) })
+		d.Push(&t)
+	}
+	for {
+		task, ok := d.Steal()
+		if !ok {
+			break
+		}
+		(*task)(0)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("steal order not FIFO at %d: got %d", i, v)
+		}
+	}
+}
+
+// TestDequeGrowth: pushing far past the initial ring capacity keeps every
+// task, in order, across the ring doublings.
+func TestDequeGrowth(t *testing.T) {
+	d := NewDequeBench(false)
+	const n = 10 * ringInit
+	seen := make([]bool, n)
+	for i := 0; i < n; i++ {
+		i := i
+		t := Task(func(int) { seen[i] = true })
+		d.Push(&t)
+	}
+	count := 0
+	for {
+		task, ok := d.Pop()
+		if !ok {
+			break
+		}
+		(*task)(0)
+		count++
+	}
+	if count != n {
+		t.Fatalf("recovered %d of %d tasks after growth", count, n)
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("task %d lost during ring growth", i)
+		}
+	}
+}
+
+// TestDequeInterleavedPushPopWraps exercises index wrap-around: the ring
+// indices keep increasing while the occupancy stays small.
+func TestDequeInterleavedPushPopWraps(t *testing.T) {
+	d := NewDequeBench(false)
+	executed := 0
+	bump := Task(func(int) { executed++ })
+	for round := 0; round < 20*ringInit; round++ {
+		d.Push(&bump)
+		d.Push(&bump)
+		for k := 0; k < 2; k++ {
+			task, ok := d.Pop()
+			if !ok {
+				t.Fatalf("round %d: deque lost a task", round)
+			}
+			(*task)(0)
+		}
+	}
+	if want := 40 * ringInit; executed != want {
+		t.Fatalf("executed %d, want %d", executed, want)
+	}
+}
+
+// TestDequeConcurrentStealers: one owner pushing and popping against many
+// thieves; every task must execute exactly once. Run with -race this is
+// the memory-ordering smoke test for the Chase–Lev implementation.
+func TestDequeConcurrentStealers(t *testing.T) {
+	const (
+		nTasks   = 20000
+		nThieves = 4
+	)
+	d := NewDequeBench(false)
+	hits := make([]int32, nTasks)
+	var done atomic.Bool
+	var wg sync.WaitGroup
+	for th := 0; th < nThieves; th++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !done.Load() {
+				if task, ok := d.Steal(); ok {
+					(*task)(0)
+				}
+			}
+			// Drain whatever is left after the owner finished.
+			for {
+				task, ok := d.Steal()
+				if !ok {
+					return
+				}
+				(*task)(0)
+			}
+		}()
+	}
+	for i := 0; i < nTasks; i++ {
+		i := i
+		task := Task(func(int) { atomic.AddInt32(&hits[i], 1) })
+		d.Push(&task)
+		if i%3 == 0 {
+			if task, ok := d.Pop(); ok {
+				(*task)(0)
+			}
+		}
+	}
+	// Owner drains its remainder, racing the thieves for the last items.
+	for {
+		task, ok := d.Pop()
+		if !ok {
+			break
+		}
+		(*task)(0)
+	}
+	done.Store(true)
+	wg.Wait()
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("task %d executed %d times", i, h)
+		}
+	}
+}
+
+// TestPoolMatchesMutexPool: the lock-free pool and the mutex oracle
+// produce the same coverage and Executed counts for identical workloads.
+func TestPoolMatchesMutexPool(t *testing.T) {
+	for _, p := range []int{1, 3, 8} {
+		for _, n := range []int{1, 5, 1000, 4096} {
+			run := func(pool *Pool) (int64, Stats) {
+				var sum int64
+				st := pool.ParallelFor(n, 16, func(w, lo, hi int) {
+					for i := lo; i < hi; i++ {
+						atomic.AddInt64(&sum, int64(i))
+					}
+				})
+				return sum, st
+			}
+			sumCL, stCL := run(NewPool(p))
+			sumMu, stMu := run(NewMutexPool(p))
+			if sumCL != sumMu {
+				t.Fatalf("p=%d n=%d: sums differ %d vs %d", p, n, sumCL, sumMu)
+			}
+			if stCL.Executed != stMu.Executed {
+				t.Fatalf("p=%d n=%d: Executed differ %d vs %d", p, n, stCL.Executed, stMu.Executed)
+			}
+		}
+	}
+}
+
+// TestParallelForTinyNSingleTask: the automatic grain no longer fans tiny
+// ranges out into unit tasks — n < workers runs as one task (the
+// regression test for the grain clamp).
+func TestParallelForTinyNSingleTask(t *testing.T) {
+	pool := NewPool(8)
+	hits := make([]int32, 5)
+	st := pool.ParallelFor(len(hits), 0, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&hits[i], 1)
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d hit %d times", i, h)
+		}
+	}
+	if st.Executed != 1 {
+		t.Errorf("tiny ParallelFor spawned %d tasks, want 1", st.Executed)
+	}
+}
+
+// TestParallelForDefaultGrainClamp: automatic grain never goes below
+// DefaultMinGrain, and explicit grains are honored unchanged.
+func TestParallelForDefaultGrainClamp(t *testing.T) {
+	pool := NewPool(8)
+	n := 4 * DefaultMinGrain // small enough that n/(8p) would be < MinGrain
+	var chunks int64
+	st := pool.ParallelFor(n, 0, func(w, lo, hi int) {
+		atomic.AddInt64(&chunks, 1)
+		if hi-lo > DefaultMinGrain {
+			t.Errorf("chunk [%d,%d) exceeds grain", lo, hi)
+		}
+	})
+	if chunks != 4 {
+		t.Errorf("got %d chunks, want 4", chunks)
+	}
+	if st.Executed != 4 {
+		t.Errorf("Executed = %d, want 4", st.Executed)
+	}
+	// Explicit grain 1 still splits fully.
+	var unit int64
+	pool.ParallelFor(10, 1, func(w, lo, hi int) { atomic.AddInt64(&unit, 1) })
+	if unit != 10 {
+		t.Errorf("explicit grain 1 produced %d chunks, want 10", unit)
+	}
+}
+
+// TestMutexPoolNestedSpawns mirrors TestRunNestedSpawns on the oracle.
+func TestMutexPoolNestedSpawns(t *testing.T) {
+	pool := NewMutexPool(4)
+	var count int64
+	var spawnTree func(depth int) Task
+	spawnTree = func(depth int) Task {
+		return func(w int) {
+			if depth == 0 {
+				atomic.AddInt64(&count, 1)
+				return
+			}
+			pool.Spawn(w, spawnTree(depth-1))
+			pool.Spawn(w, spawnTree(depth-1))
+		}
+	}
+	stats := pool.Run(spawnTree(8))
+	if count != 256 {
+		t.Errorf("executed %d leaves, want 256", count)
+	}
+	if stats.Executed != 511 {
+		t.Errorf("stats.Executed = %d, want 511", stats.Executed)
+	}
+}
+
+func BenchmarkDequePushPop(b *testing.B) {
+	for _, impl := range []struct {
+		name  string
+		mutex bool
+	}{{"chaselev", false}, {"mutex", true}} {
+		b.Run(impl.name, func(b *testing.B) {
+			d := NewDequeBench(impl.mutex)
+			task := Task(func(int) {})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.Push(&task)
+				d.Pop()
+			}
+		})
+	}
+}
+
+func BenchmarkDequeSteal(b *testing.B) {
+	for _, impl := range []struct {
+		name  string
+		mutex bool
+	}{{"chaselev", false}, {"mutex", true}} {
+		b.Run(impl.name, func(b *testing.B) {
+			d := NewDequeBench(impl.mutex)
+			task := Task(func(int) {})
+			// Keep the deque deep so mutex steal pays its O(n) shift.
+			for i := 0; i < 1024; i++ {
+				d.Push(&task)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := d.Steal(); !ok {
+					b.StopTimer()
+					for j := 0; j < 1024; j++ {
+						d.Push(&task)
+					}
+					b.StartTimer()
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkParallelFor(b *testing.B) {
+	work := func(w, lo, hi int) {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += float64(i % 17)
+		}
+		_ = s
+	}
+	for _, impl := range []struct {
+		name string
+		mk   func(p int) *Pool
+	}{{"chaselev", NewPool}, {"mutex", NewMutexPool}} {
+		for _, p := range []int{1, 2, 4, 8} {
+			b.Run(impl.name+"/p="+string(rune('0'+p)), func(b *testing.B) {
+				pool := impl.mk(p)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					pool.ParallelFor(1<<14, 8, work)
+				}
+			})
+		}
+	}
+}

@@ -5,6 +5,13 @@
 // top of a random victim's deque (FIFO, oldest work) when it runs dry —
 // exactly the Blumofe–Leiserson discipline the paper describes (§IV-A,
 // "Dynamic load balancing among threads").
+//
+// The default deque is a lock-free Chase–Lev ring buffer: the owner's
+// push/pop never takes a lock, and a compare-and-swap is needed only on
+// the steal path and when the owner races a thief for the last element.
+// The previous mutex-guarded deque is retained (NewMutexPool) as the
+// correctness oracle and the baseline the scheduler benchmarks compare
+// against.
 package sched
 
 import (
@@ -23,35 +30,125 @@ type Task func(worker int)
 type Stats struct {
 	Executed     int64 // tasks executed
 	Steals       int64 // successful steals
-	FailedSteals int64 // steal attempts that found an empty deque
+	FailedSteals int64 // steal attempts that found an empty deque or lost a race
 }
 
-// Pool is a work-stealing scheduler with a fixed number of workers.
-type Pool struct {
-	p      int
-	deques []deque
-	stats  Stats
+// ringInit is the initial per-worker ring capacity (a power of two). The
+// ring doubles on overflow, so this only sets the smallest allocation.
+const ringInit = 64
 
-	pending int64 // outstanding tasks across all deques + in flight
-
-	panicMu  sync.Mutex
-	panicked interface{} // first task panic value, re-raised by Run
+// ring is one immutable-capacity circular buffer generation of a deque.
+// Slots are atomic because thieves read them concurrently with the
+// owner's writes; indices wrap modulo the capacity via mask.
+type ring struct {
+	mask int64
+	slot []atomic.Pointer[Task]
 }
 
-// deque is a mutex-protected double-ended queue. Push/pop at the bottom
-// are the owner's fast path; Steal takes from the top.
+func newRing(n int64) *ring {
+	return &ring{mask: n - 1, slot: make([]atomic.Pointer[Task], n)}
+}
+
+// deque is a lock-free Chase–Lev work-stealing deque (Chase & Lev, SPAA
+// 2005, in the memory-ordered formulation of Lê et al., PPoPP 2013). The
+// owner pushes and pops at bottom; thieves take from top.
+//
+// Memory-ordering argument (see DESIGN.md §"Chase–Lev deque"): Go's
+// sync/atomic operations are sequentially consistent, which subsumes every
+// fence of the C11 version. The owner is the only writer of bottom and of
+// the buffer pointer; top only ever increases, and does so exclusively
+// through compare-and-swap, so each index t is won by exactly one of
+// {owner popping its last element, one thief}. A thief validates its slot
+// read by the CAS on top: if the CAS succeeds, no pop or prior steal
+// consumed index t, and the owner cannot have overwritten slot t&mask
+// because push grows the ring before bottom-top reaches the capacity.
+// Grown rings copy the live range [top, bottom) and old generations remain
+// valid (and garbage-collected) for thieves still holding them.
 type deque struct {
-	mu    sync.Mutex
-	tasks []Task
+	bottom atomic.Int64
+	top    atomic.Int64
+	buf    atomic.Pointer[ring]
 }
 
-func (d *deque) push(t Task) {
+func (d *deque) init() {
+	d.buf.Store(newRing(ringInit))
+}
+
+// push appends t at the bottom. Owner-only. Tasks travel as pointers so
+// a spawn boxes its closure exactly once, and the deque's own operations
+// never allocate (outside ring growth).
+func (d *deque) push(t *Task) {
+	b := d.bottom.Load()
+	tp := d.top.Load()
+	r := d.buf.Load()
+	if b-tp >= int64(len(r.slot)) {
+		// Full: double the capacity, copying the live range.
+		nr := newRing(int64(len(r.slot)) * 2)
+		for i := tp; i < b; i++ {
+			nr.slot[i&nr.mask].Store(r.slot[i&r.mask].Load())
+		}
+		d.buf.Store(nr)
+		r = nr
+	}
+	r.slot[b&r.mask].Store(t)
+	d.bottom.Store(b + 1)
+}
+
+// pop removes the most recently pushed task. Owner-only.
+func (d *deque) pop() (*Task, bool) {
+	b := d.bottom.Load() - 1
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Empty; restore the canonical empty state bottom == top.
+		d.bottom.Store(b + 1)
+		return nil, false
+	}
+	r := d.buf.Load()
+	task := r.slot[b&r.mask].Load()
+	if b > t {
+		return task, true
+	}
+	// Single element left: race thieves for it via top.
+	won := d.top.CompareAndSwap(t, t+1)
+	d.bottom.Store(b + 1)
+	if !won {
+		return nil, false
+	}
+	return task, true
+}
+
+// steal removes the oldest task. Safe from any goroutine.
+func (d *deque) steal() (*Task, bool) {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return nil, false
+	}
+	r := d.buf.Load()
+	task := r.slot[t&r.mask].Load()
+	if !d.top.CompareAndSwap(t, t+1) {
+		return nil, false // lost the race to the owner or another thief
+	}
+	return task, true
+}
+
+// mutexDeque is the pre-Chase–Lev mutex-guarded deque, kept verbatim as
+// the reference oracle for tests and the baseline for the scheduler
+// benchmarks. Its steal is O(n) (slice shift), which is part of what the
+// lock-free deque replaces.
+type mutexDeque struct {
+	mu    sync.Mutex
+	tasks []*Task
+}
+
+func (d *mutexDeque) push(t *Task) {
 	d.mu.Lock()
 	d.tasks = append(d.tasks, t)
 	d.mu.Unlock()
 }
 
-func (d *deque) pop() (Task, bool) {
+func (d *mutexDeque) pop() (*Task, bool) {
 	d.mu.Lock()
 	n := len(d.tasks)
 	if n == 0 {
@@ -65,7 +162,7 @@ func (d *deque) pop() (Task, bool) {
 	return t, true
 }
 
-func (d *deque) steal() (Task, bool) {
+func (d *mutexDeque) steal() (*Task, bool) {
 	d.mu.Lock()
 	if len(d.tasks) == 0 {
 		d.mu.Unlock()
@@ -79,23 +176,73 @@ func (d *deque) steal() (Task, bool) {
 	return t, true
 }
 
-// NewPool creates a pool with p workers (p ≤ 0 selects GOMAXPROCS).
+// Pool is a work-stealing scheduler with a fixed number of workers.
+type Pool struct {
+	p       int
+	deques  []deque
+	mdeques []mutexDeque // non-nil only for NewMutexPool
+	stats   Stats
+
+	pending int64 // outstanding tasks across all deques + in flight
+
+	panicMu  sync.Mutex
+	panicked interface{} // first task panic value, re-raised by Run
+}
+
+// NewPool creates a pool with p workers (p ≤ 0 selects GOMAXPROCS) backed
+// by lock-free Chase–Lev deques.
 func NewPool(p int) *Pool {
 	if p <= 0 {
 		p = runtime.GOMAXPROCS(0)
 	}
-	return &Pool{p: p, deques: make([]deque, p)}
+	pl := &Pool{p: p, deques: make([]deque, p)}
+	for i := range pl.deques {
+		pl.deques[i].init()
+	}
+	return pl
+}
+
+// NewMutexPool creates a pool backed by the mutex-guarded reference
+// deques. It exists for differential tests and as the benchmark baseline;
+// production callers should use NewPool.
+func NewMutexPool(p int) *Pool {
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{p: p, mdeques: make([]mutexDeque, p)}
 }
 
 // Workers returns the worker count.
 func (pl *Pool) Workers() int { return pl.p }
+
+func (pl *Pool) push(w int, t *Task) {
+	if pl.mdeques != nil {
+		pl.mdeques[w].push(t)
+		return
+	}
+	pl.deques[w].push(t)
+}
+
+func (pl *Pool) pop(w int) (*Task, bool) {
+	if pl.mdeques != nil {
+		return pl.mdeques[w].pop()
+	}
+	return pl.deques[w].pop()
+}
+
+func (pl *Pool) stealFrom(victim int) (*Task, bool) {
+	if pl.mdeques != nil {
+		return pl.mdeques[victim].steal()
+	}
+	return pl.deques[victim].steal()
+}
 
 // Spawn enqueues t on the given worker's deque. It may only be called from
 // inside a running task (with that task's worker id) or before Run with
 // worker 0; the pending count keeps Run from returning early.
 func (pl *Pool) Spawn(worker int, t Task) {
 	atomic.AddInt64(&pl.pending, 1)
-	pl.deques[worker].push(t)
+	pl.push(worker, &t)
 }
 
 // Run executes root and everything it transitively spawns, returning when
@@ -132,8 +279,8 @@ func (pl *Pool) workerLoop(w int) {
 	rng := rand.New(rand.NewSource(int64(w)*2654435761 + 97))
 	idleSpins := 0
 	for {
-		if t, ok := pl.deques[w].pop(); ok {
-			pl.exec(w, t)
+		if t, ok := pl.pop(w); ok {
+			pl.exec(w, *t)
 			idleSpins = 0
 			continue
 		}
@@ -145,9 +292,9 @@ func (pl *Pool) workerLoop(w int) {
 			if victim >= w {
 				victim++
 			}
-			if t, ok := pl.deques[victim].steal(); ok {
+			if t, ok := pl.stealFrom(victim); ok {
 				atomic.AddInt64(&pl.stats.Steals, 1)
-				pl.exec(w, t)
+				pl.exec(w, *t)
 				idleSpins = 0
 				continue
 			}
@@ -178,18 +325,24 @@ func (pl *Pool) exec(w int, t Task) {
 	t(w)
 }
 
+// DefaultMinGrain is the smallest chunk ParallelFor's automatic grain will
+// produce. Chunks below this size cost more in scheduling than they can
+// recover in load balance (a near-field leaf-pair kernel runs in well
+// under a microsecond), so tiny n no longer fans out into 8p unit tasks.
+const DefaultMinGrain = 32
+
 // ParallelFor executes fn over [0, n) split into chunks of at most grain
-// (grain ≤ 0 picks n/(8p), floored at 1), using recursive binary splitting
-// so stealing moves large half-ranges first. It blocks until all chunks
-// complete and returns the run's stats.
+// (grain ≤ 0 picks n/(8p) clamped to at least DefaultMinGrain), using
+// recursive binary splitting so stealing moves large half-ranges first.
+// It blocks until all chunks complete and returns the run's stats.
 func (pl *Pool) ParallelFor(n, grain int, fn func(worker, lo, hi int)) Stats {
 	if n <= 0 {
 		return Stats{}
 	}
 	if grain <= 0 {
 		grain = n / (8 * pl.p)
-		if grain < 1 {
-			grain = 1
+		if grain < DefaultMinGrain {
+			grain = DefaultMinGrain
 		}
 	}
 	var split func(lo, hi int) Task
@@ -239,4 +392,48 @@ func ListScheduleMakespan(weights []float64, p int) float64 {
 		}
 	}
 	return max
+}
+
+// DequeBench exposes the raw deque operations of one deque to the
+// micro-benchmark driver (cmd/benchkernels). Not intended for scheduling
+// use — Pool wires the deques into workers.
+type DequeBench struct {
+	cl *deque
+	mu *mutexDeque
+}
+
+// NewDequeBench returns a bench handle over a fresh deque; mutex selects
+// the baseline mutex-guarded implementation.
+func NewDequeBench(mutex bool) *DequeBench {
+	if mutex {
+		return &DequeBench{mu: &mutexDeque{}}
+	}
+	d := &deque{}
+	d.init()
+	return &DequeBench{cl: d}
+}
+
+// Push appends a task at the bottom (owner side).
+func (b *DequeBench) Push(t *Task) {
+	if b.mu != nil {
+		b.mu.push(t)
+		return
+	}
+	b.cl.push(t)
+}
+
+// Pop removes the newest task (owner side).
+func (b *DequeBench) Pop() (*Task, bool) {
+	if b.mu != nil {
+		return b.mu.pop()
+	}
+	return b.cl.pop()
+}
+
+// Steal removes the oldest task (thief side).
+func (b *DequeBench) Steal() (*Task, bool) {
+	if b.mu != nil {
+		return b.mu.steal()
+	}
+	return b.cl.steal()
 }
