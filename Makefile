@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build vet test race bench bench-kernels
+.PHONY: verify build vet test race bench bench-kernels bench-comm
 
 ## verify: the tier-1 gate — build, vet, full tests, then race-test the
 ## concurrency-bearing packages (scheduler + treecode kernels).
@@ -16,7 +16,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sched/... ./internal/core/...
+	$(GO) test -race ./internal/sched/... ./internal/core/... ./internal/cluster/...
 
 ## bench: every figure/table benchmark at reduced scale.
 bench:
@@ -26,3 +26,8 @@ bench:
 ## report (flat vs recursive kernels, Chase–Lev vs mutex deque, ParallelFor).
 bench-kernels:
 	$(GO) run ./cmd/benchkernels -o BENCH_kernels.json
+
+## bench-comm: regenerate the committed BENCH_comm.json collective-layer
+## report (topo vs star algorithms, both transports, modeled cluster costs).
+bench-comm:
+	$(GO) run ./cmd/benchcomm -o BENCH_comm.json

@@ -42,6 +42,7 @@ func main() {
 		bornEps = flag.Float64("borneps", 0.9, "Born ε")
 		epolEps = flag.Float64("epoleps", 0.9, "E_pol ε")
 		approx  = flag.Bool("approx", false, "approximate math")
+		mesh    = flag.Bool("mesh", true, "build the worker-to-worker mesh for topology-aware collectives (same flag on every rank; -mesh=false falls back to the root star)")
 	)
 	flag.Parse()
 
@@ -55,6 +56,10 @@ func main() {
 		opts.Math = gb.Approximate
 	}
 
+	var tcpOpts []cluster.TCPOption
+	if *mesh {
+		tcpOpts = append(tcpOpts, cluster.WithMesh())
+	}
 	var comm cluster.Comm
 	switch {
 	case *listen != "":
@@ -64,12 +69,12 @@ func main() {
 		}
 		defer ln.Close()
 		fmt.Fprintf(os.Stderr, "epolnode: root waiting for %d workers on %s\n", *ranks-1, ln.Addr())
-		comm, err = cluster.NewTCPRoot(ln, *ranks)
+		comm, err = cluster.NewTCPRoot(ln, *ranks, tcpOpts...)
 		if err != nil {
 			fatal(err)
 		}
 	case *connect != "":
-		comm, err = cluster.DialTCP(*connect, *rank, *ranks)
+		comm, err = cluster.DialTCP(*connect, *rank, *ranks, tcpOpts...)
 		if err != nil {
 			fatal(err)
 		}

@@ -6,12 +6,24 @@ import (
 )
 
 // LocalGroup is an in-process communicator group: P ranks running as
-// goroutines in one address space. Collectives rendezvous through a single
-// generation-counted monitor, which is simple, correct for arbitrary
-// collective sequences, and fast enough for the rank counts the paper uses
-// (≤ 144).
+// goroutines in one address space. Two collective implementations are
+// wired in:
+//
+//   - Topo (default): the topology-aware algorithms of collectives.go,
+//     routed over the group's (from, to) mailbox grid exactly like the TCP
+//     mesh routes them over sockets — recursive doubling, ring, binomial
+//     tree, dissemination — including the non-blocking forms.
+//   - Star: every collective rendezvouses through a single
+//     generation-counted monitor; simple, obviously correct for arbitrary
+//     collective sequences, and kept as the oracle the topology-aware
+//     path is tested against.
+//
+// The mailbox grid is fully pre-built at construction time, so the p2p
+// Send/Recv path and the collective stages index it without taking any
+// group-wide lock.
 type LocalGroup struct {
 	size int
+	algo Algorithm
 	hook CollectiveHook
 
 	mu      sync.Mutex
@@ -21,7 +33,8 @@ type LocalGroup struct {
 	kind    string
 	bufs    []collArg
 	result  []float64
-	mail    map[[2]int]*mailbox // point-to-point mailboxes (p2p.go)
+
+	grid []*tagBox // (from, to) mailboxes, row-major from*size+to
 }
 
 type collArg struct {
@@ -31,21 +44,44 @@ type collArg struct {
 	root   int
 }
 
-// NewLocalGroup creates a group of p ranks. hook may be nil.
+// NewLocalGroup creates a group of p ranks using the topology-aware
+// collectives. hook may be nil.
 func NewLocalGroup(p int, hook CollectiveHook) *LocalGroup {
-	g := &LocalGroup{size: p, hook: hook, bufs: make([]collArg, p)}
+	return NewLocalGroupAlgo(p, hook, Topo)
+}
+
+// NewLocalGroupAlgo creates a group with an explicit collective algorithm
+// selection (Star is the monitor-based reference).
+func NewLocalGroupAlgo(p int, hook CollectiveHook, algo Algorithm) *LocalGroup {
+	g := &LocalGroup{size: p, algo: algo, hook: hook, bufs: make([]collArg, p)}
 	g.cond = sync.NewCond(&g.mu)
+	g.grid = make([]*tagBox, p*p)
+	for i := range g.grid {
+		g.grid[i] = newTagBox()
+	}
 	return g
 }
 
 // Comm returns the communicator handle for one rank.
 func (g *LocalGroup) Comm(rank int) Comm {
-	return &localComm{g: g, rank: rank}
+	c := &localComm{g: g, rank: rank}
+	c.coll.pw = c
+	if rank == 0 {
+		// Hook on rank 0 only: once per collective, as documented.
+		c.coll.hook = g.hook
+	}
+	return c
 }
 
-// RunLocal runs fn on p in-process ranks and returns the first error.
+// RunLocal runs fn on p in-process ranks with the topology-aware
+// collectives and returns the first error.
 func RunLocal(p int, hook CollectiveHook, fn func(c Comm) error) error {
-	g := NewLocalGroup(p, hook)
+	return RunLocalAlgo(p, hook, Topo, fn)
+}
+
+// RunLocalAlgo is RunLocal with an explicit collective algorithm.
+func RunLocalAlgo(p int, hook CollectiveHook, algo Algorithm, fn func(c Comm) error) error {
+	g := NewLocalGroupAlgo(p, hook, algo)
 	errs := make([]error, p)
 	var wg sync.WaitGroup
 	for r := 0; r < p; r++ {
@@ -67,17 +103,19 @@ func RunLocal(p int, hook CollectiveHook, fn func(c Comm) error) error {
 type localComm struct {
 	g    *LocalGroup
 	rank int
+	coll coll
 }
 
 func (c *localComm) Rank() int { return c.rank }
 func (c *localComm) Size() int { return c.g.size }
 
 // rendezvous implements the generic "everyone deposits, last one computes,
-// everyone copies out" collective. complete runs exactly once (under the
-// monitor) when the last rank arrives; copyOut runs per rank before it
-// leaves. A rank cannot enter collective k+1 before every rank has left
-// collective k, because arrival counting restarts only after the
-// generation bump and copyOut happens under the same critical section.
+// everyone copies out" monitor collective (Star algorithm). complete runs
+// exactly once (under the monitor) when the last rank arrives; copyOut runs
+// per rank before it leaves. A rank cannot enter collective k+1 before
+// every rank has left collective k, because arrival counting restarts only
+// after the generation bump and copyOut happens under the same critical
+// section.
 func (c *localComm) rendezvous(kind string, arg collArg, complete func(bufs []collArg) []float64, copyOut func(result []float64, arg collArg)) error {
 	g := c.g
 	g.mu.Lock()
@@ -109,11 +147,17 @@ func (c *localComm) rendezvous(kind string, arg collArg, complete func(bufs []co
 }
 
 func (c *localComm) Barrier() error {
+	if c.g.algo == Topo {
+		return c.coll.Barrier()
+	}
 	return c.rendezvous("barrier", collArg{},
 		func([]collArg) []float64 { return nil }, nil)
 }
 
 func (c *localComm) AllreduceSum(buf []float64) error {
+	if c.g.algo == Topo {
+		return c.coll.AllreduceSum(buf)
+	}
 	return c.rendezvous("allreduce", collArg{buf: buf},
 		func(bufs []collArg) []float64 {
 			res := make([]float64, len(buf))
@@ -128,6 +172,9 @@ func (c *localComm) AllreduceSum(buf []float64) error {
 }
 
 func (c *localComm) AllreduceMax(buf []float64) error {
+	if c.g.algo == Topo {
+		return c.coll.AllreduceMax(buf)
+	}
 	return c.rendezvous("allreducemax", collArg{buf: buf},
 		func(bufs []collArg) []float64 {
 			res := append([]float64(nil), bufs[0].buf...)
@@ -144,15 +191,15 @@ func (c *localComm) AllreduceMax(buf []float64) error {
 }
 
 func (c *localComm) Allgatherv(segment []float64, counts []int, out []float64) error {
+	if c.g.algo == Topo {
+		return c.coll.Allgatherv(segment, counts, out)
+	}
+	if _, err := checkGatherArgs(c.rank, segment, counts, out); err != nil {
+		return err
+	}
 	total := 0
 	for _, n := range counts {
 		total += n
-	}
-	if total != len(out) {
-		return fmt.Errorf("cluster: Allgatherv out length %d != Σcounts %d", len(out), total)
-	}
-	if len(segment) != counts[c.rank] {
-		return fmt.Errorf("cluster: rank %d segment length %d != counts[rank] %d", c.rank, len(segment), counts[c.rank])
 	}
 	return c.rendezvous("allgatherv", collArg{buf: segment, counts: counts, out: out},
 		func(bufs []collArg) []float64 {
@@ -168,9 +215,30 @@ func (c *localComm) Allgatherv(segment []float64, counts []int, out []float64) e
 }
 
 func (c *localComm) Bcast(buf []float64, root int) error {
+	if c.g.algo == Topo {
+		return c.coll.Bcast(buf, root)
+	}
 	return c.rendezvous("bcast", collArg{buf: buf, root: root},
 		func(bufs []collArg) []float64 {
 			return append([]float64(nil), bufs[root].buf...)
 		},
 		func(result []float64, arg collArg) { copy(arg.buf, result) })
+}
+
+// IAllreduceSum initiates a non-blocking allreduce. On the Star algorithm
+// the operation completes synchronously (monitor collectives cannot
+// overlap), preserving semantics without overlap.
+func (c *localComm) IAllreduceSum(buf []float64) Request {
+	if c.g.algo == Topo {
+		return c.coll.IAllreduceSum(buf)
+	}
+	return doneRequest(c.AllreduceSum(buf))
+}
+
+// IAllgatherv initiates a non-blocking allgatherv (synchronous under Star).
+func (c *localComm) IAllgatherv(segment []float64, counts []int, out []float64) Request {
+	if c.g.algo == Topo {
+		return c.coll.IAllgatherv(segment, counts, out)
+	}
+	return doneRequest(c.Allgatherv(segment, counts, out))
 }

@@ -7,19 +7,27 @@ import (
 	"io"
 	"math"
 	"net"
+	"strings"
 	"sync"
 )
 
 func floatBits(v float64) uint64     { return math.Float64bits(v) }
 func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }
 
-// The TCP transport runs each rank in its own OS process. Rank 0 is the
-// root of a star: workers send their collective contributions to the root,
-// the root combines them and sends the result back. This is O(P·m) at the
-// root rather than the O(log P) tree of a real MPI, but it is simple,
-// correct, and uses only the standard library; the virtual-time simulator
-// (not this transport) is what models the paper's collective costs.
-
+// The TCP transport runs each rank in its own OS process. Two wirings are
+// available:
+//
+//   - Star (default): rank 0 is the root of a star; workers send their
+//     collective contributions to the root, the root combines them and
+//     sends the result back. O(P·m) at the root, but simple, correct, and
+//     the oracle the mesh is tested against.
+//   - Mesh (WithMesh, both sides): during the handshake every worker
+//     reports a private listen port, the root broadcasts the address
+//     table, and the workers connect pairwise. Collectives then run the
+//     topology-aware algorithms of collectives.go over the mesh
+//     (recursive doubling / ring / binomial / dissemination), point-to-point
+//     messaging (Messenger) and the non-blocking collectives (NonBlocking)
+//     become available, and the root is no longer a bandwidth bottleneck.
 const tcpMagic = 0x0C7B
 
 // kind codes on the wire.
@@ -29,15 +37,57 @@ const (
 	opAllreduceMax
 	opAllgatherv
 	opBcast
+	opTagged // mesh frame: aux carries the message tag
 )
 
+func kindOfOp(op byte) string {
+	switch op {
+	case opBarrier:
+		return "barrier"
+	case opAllreduceSum:
+		return "allreduce"
+	case opAllreduceMax:
+		return "allreducemax"
+	case opAllgatherv:
+		return "allgatherv"
+	case opBcast:
+		return "bcast"
+	}
+	return "unknown"
+}
+
+// tcpConfig collects the transport options.
+type tcpConfig struct {
+	mesh bool
+	hook CollectiveHook
+}
+
+// TCPOption configures NewTCPRoot / DialTCP. Every rank of a group must be
+// created with the same options.
+type TCPOption func(*tcpConfig)
+
+// WithMesh enables the worker-to-worker connection mesh and routes
+// collectives through the topology-aware algorithms. Must be passed on the
+// root and on every worker.
+func WithMesh() TCPOption { return func(c *tcpConfig) { c.mesh = true } }
+
+// WithHook attaches a CollectiveHook (observed once per collective: at the
+// root in star mode, on rank 0 in mesh mode).
+func WithHook(hook CollectiveHook) TCPOption { return func(c *tcpConfig) { c.hook = hook } }
+
 // NewTCPRoot accepts size−1 worker connections on ln and returns rank 0's
-// communicator. It blocks until all workers have joined.
-func NewTCPRoot(ln net.Listener, size int) (Comm, error) {
+// communicator. It blocks until all workers have joined (and, with
+// WithMesh, until the address table has been distributed).
+func NewTCPRoot(ln net.Listener, size int, opts ...TCPOption) (Comm, error) {
+	var cfg tcpConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	if size < 1 {
 		return nil, fmt.Errorf("cluster: size %d < 1", size)
 	}
-	c := &tcpRoot{size: size, conns: make([]*rankConn, size)}
+	conns := make([]*rankConn, size)
+	meshAddrs := make([]string, size)
 	for joined := 1; joined < size; joined++ {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -52,18 +102,60 @@ func NewTCPRoot(ln net.Listener, size int) (Comm, error) {
 			return nil, fmt.Errorf("cluster: bad magic from worker")
 		}
 		rank := int(binary.LittleEndian.Uint32(hello[4:]))
-		if rank <= 0 || rank >= size || c.conns[rank] != nil {
+		if rank <= 0 || rank >= size || conns[rank] != nil {
 			return nil, fmt.Errorf("cluster: bad or duplicate worker rank %d", rank)
 		}
-		c.conns[rank] = rc
+		conns[rank] = rc
+		if cfg.mesh {
+			// Mesh handshake extension: the worker reports its private
+			// listen port; combined with the address the connection came
+			// from it yields the peer-dialable mesh address.
+			var pb [4]byte
+			if _, err := io.ReadFull(rc.r, pb[:]); err != nil {
+				return nil, fmt.Errorf("cluster: reading mesh port of rank %d: %w", rank, err)
+			}
+			port := int(binary.LittleEndian.Uint32(pb[:]))
+			host, _, err := net.SplitHostPort(conn.RemoteAddr().String())
+			if err != nil {
+				return nil, fmt.Errorf("cluster: mesh address of rank %d: %w", rank, err)
+			}
+			meshAddrs[rank] = net.JoinHostPort(host, fmt.Sprint(port))
+		}
 	}
-	return c, nil
+	if !cfg.mesh {
+		return &tcpRoot{size: size, conns: conns, hook: cfg.hook}, nil
+	}
+	// Broadcast the address table, then switch every star connection into
+	// tagged-frame mode: the root's links to the workers double as its
+	// pairwise mesh links.
+	table := strings.Join(meshAddrs[1:], "\n")
+	for r := 1; r < size; r++ {
+		if err := conns[r].writeBlob([]byte(table)); err != nil {
+			return nil, fmt.Errorf("cluster: sending mesh table to rank %d: %w", r, err)
+		}
+	}
+	return newMeshComm(0, size, conns, cfg.hook), nil
 }
 
 // DialTCP connects worker `rank` (1 ≤ rank < size) to the root at addr.
-func DialTCP(addr string, rank, size int) (Comm, error) {
+// With WithMesh it also opens a listener, reports it to the root, and
+// joins the worker-to-worker mesh before returning.
+func DialTCP(addr string, rank, size int, opts ...TCPOption) (Comm, error) {
+	var cfg tcpConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	if rank <= 0 || rank >= size {
 		return nil, fmt.Errorf("cluster: worker rank %d out of range (1..%d)", rank, size-1)
+	}
+	var meshLn net.Listener
+	if cfg.mesh {
+		var err error
+		meshLn, err = net.Listen("tcp", ":0")
+		if err != nil {
+			return nil, fmt.Errorf("cluster: mesh listen: %w", err)
+		}
+		defer meshLn.Close()
 	}
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
@@ -76,66 +168,192 @@ func DialTCP(addr string, rank, size int) (Comm, error) {
 	if _, err := rc.w.Write(hello[:]); err != nil {
 		return nil, err
 	}
+	if cfg.mesh {
+		var pb [4]byte
+		binary.LittleEndian.PutUint32(pb[:], uint32(meshLn.Addr().(*net.TCPAddr).Port))
+		if _, err := rc.w.Write(pb[:]); err != nil {
+			return nil, err
+		}
+	}
 	if err := rc.w.Flush(); err != nil {
 		return nil, err
 	}
-	return &tcpWorker{rank: rank, size: size, conn: rc}, nil
+	if !cfg.mesh {
+		return &tcpWorker{rank: rank, size: size, conn: rc}, nil
+	}
+
+	// Receive the address table, then build the mesh: dial every
+	// lower-ranked worker (their listeners predate the root handshake, so
+	// they are accepting or their backlog queues us), accept every
+	// higher-ranked one.
+	blob, err := rc.readBlob()
+	if err != nil {
+		return nil, fmt.Errorf("cluster: reading mesh table: %w", err)
+	}
+	addrs := strings.Split(string(blob), "\n")
+	if len(addrs) != size-1 {
+		return nil, fmt.Errorf("cluster: mesh table has %d entries, want %d", len(addrs), size-1)
+	}
+	conns := make([]*rankConn, size)
+	conns[0] = rc
+	for peer := 1; peer < rank; peer++ {
+		pc, err := net.Dial("tcp", addrs[peer-1])
+		if err != nil {
+			return nil, fmt.Errorf("cluster: dialing mesh peer %d: %w", peer, err)
+		}
+		prc := newRankConn(pc)
+		binary.LittleEndian.PutUint32(hello[:4], tcpMagic)
+		binary.LittleEndian.PutUint32(hello[4:], uint32(rank))
+		if _, err := prc.w.Write(hello[:]); err != nil {
+			return nil, err
+		}
+		if err := prc.w.Flush(); err != nil {
+			return nil, err
+		}
+		conns[peer] = prc
+	}
+	for accepted := rank + 1; accepted < size; accepted++ {
+		pc, err := meshLn.Accept()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: accepting mesh peer: %w", err)
+		}
+		prc := newRankConn(pc)
+		if _, err := io.ReadFull(prc.r, hello[:]); err != nil {
+			return nil, fmt.Errorf("cluster: reading mesh hello: %w", err)
+		}
+		if binary.LittleEndian.Uint32(hello[:4]) != tcpMagic {
+			return nil, fmt.Errorf("cluster: bad mesh magic")
+		}
+		peer := int(binary.LittleEndian.Uint32(hello[4:]))
+		if peer <= rank || peer >= size || conns[peer] != nil {
+			return nil, fmt.Errorf("cluster: bad or duplicate mesh peer %d", peer)
+		}
+		conns[peer] = prc
+	}
+	return newMeshComm(rank, size, conns, cfg.hook), nil
 }
 
+// rankConn is one framed, buffered TCP link. Writers serialize on wmu and
+// each frame — header and payload — is marshaled into a single scratch
+// buffer and handed to the socket in ONE buffered write + flush (the
+// original path issued one write per float64). Reads are the mirror image:
+// the payload is pulled in one bulk read into a byte scratch and decoded
+// into a pooled []float64. Exactly one goroutine reads from a rankConn at
+// a time (the star collectives hold their communicator mutex; the mesh
+// dedicates a reader goroutine per link).
 type rankConn struct {
 	c net.Conn
 	r *bufio.Reader
-	w *bufio.Writer
+
+	wmu      sync.Mutex
+	w        *bufio.Writer
+	scratch  []byte // write marshaling buffer, guarded by wmu
+	rscratch []byte // read decode buffer, single-reader
 }
 
 func newRankConn(c net.Conn) *rankConn {
 	return &rankConn{c: c, r: bufio.NewReaderSize(c, 1<<16), w: bufio.NewWriterSize(c, 1<<16)}
 }
 
-// writeMsg frames: op byte, aux uint32, n uint32, n float64 payload.
-func (rc *rankConn) writeMsg(op byte, aux uint32, payload []float64) error {
-	var hdr [9]byte
-	hdr[0] = op
-	binary.LittleEndian.PutUint32(hdr[1:5], aux)
-	binary.LittleEndian.PutUint32(hdr[5:9], uint32(len(payload)))
-	if _, err := rc.w.Write(hdr[:]); err != nil {
-		return err
+// writeFrame frames: op byte, aux uint32, n uint32, n float64 payload —
+// marshaled and written as a single buffered write.
+func (rc *rankConn) writeFrame(op byte, aux uint32, payload []float64) error {
+	rc.wmu.Lock()
+	defer rc.wmu.Unlock()
+	need := 9 + 8*len(payload)
+	if cap(rc.scratch) < need {
+		rc.scratch = make([]byte, need)
 	}
-	var b [8]byte
-	for _, v := range payload {
-		binary.LittleEndian.PutUint64(b[:], floatBits(v))
-		if _, err := rc.w.Write(b[:]); err != nil {
-			return err
-		}
+	b := rc.scratch[:need]
+	b[0] = op
+	binary.LittleEndian.PutUint32(b[1:5], aux)
+	binary.LittleEndian.PutUint32(b[5:9], uint32(len(payload)))
+	for i, v := range payload {
+		binary.LittleEndian.PutUint64(b[9+8*i:], floatBits(v))
+	}
+	if _, err := rc.w.Write(b); err != nil {
+		return err
 	}
 	return rc.w.Flush()
 }
 
-func (rc *rankConn) readMsg(wantOp byte) (aux uint32, payload []float64, err error) {
+// readFrame reads one frame; the payload arrives in a pooled buffer that
+// the consumer releases with putBuf/ReleaseBuffer.
+func (rc *rankConn) readFrame() (op byte, aux uint32, payload []float64, err error) {
 	var hdr [9]byte
 	if _, err = io.ReadFull(rc.r, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	op = hdr[0]
+	aux = binary.LittleEndian.Uint32(hdr[1:5])
+	n := int(binary.LittleEndian.Uint32(hdr[5:9]))
+	need := 8 * n
+	if cap(rc.rscratch) < need {
+		rc.rscratch = make([]byte, need)
+	}
+	raw := rc.rscratch[:need]
+	if _, err = io.ReadFull(rc.r, raw); err != nil {
+		return 0, 0, nil, err
+	}
+	payload = getBuf(n)
+	for i := range payload {
+		payload[i] = floatFromBits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	return op, aux, payload, nil
+}
+
+func (rc *rankConn) writeMsg(op byte, aux uint32, payload []float64) error {
+	return rc.writeFrame(op, aux, payload)
+}
+
+func (rc *rankConn) readMsg(wantOp byte) (aux uint32, payload []float64, err error) {
+	op, aux, payload, err := rc.readFrame()
+	if err != nil {
 		return 0, nil, err
 	}
-	if hdr[0] != wantOp {
-		return 0, nil, fmt.Errorf("cluster: expected op %d, got %d", wantOp, hdr[0])
-	}
-	aux = binary.LittleEndian.Uint32(hdr[1:5])
-	n := binary.LittleEndian.Uint32(hdr[5:9])
-	payload = make([]float64, n)
-	var b [8]byte
-	for i := range payload {
-		if _, err = io.ReadFull(rc.r, b[:]); err != nil {
-			return 0, nil, err
-		}
-		payload[i] = floatFromBits(binary.LittleEndian.Uint64(b[:]))
+	if op != wantOp {
+		putBuf(payload)
+		return 0, nil, fmt.Errorf("cluster: expected op %d, got %d", wantOp, op)
 	}
 	return aux, payload, nil
 }
 
-// tcpRoot is rank 0.
+// writeBlob / readBlob frame raw bytes (the mesh address table).
+func (rc *rankConn) writeBlob(b []byte) error {
+	rc.wmu.Lock()
+	defer rc.wmu.Unlock()
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(b)))
+	if _, err := rc.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := rc.w.Write(b); err != nil {
+		return err
+	}
+	return rc.w.Flush()
+}
+
+func (rc *rankConn) readBlob() ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(rc.r, hdr[:]); err != nil {
+		return nil, err
+	}
+	b := make([]byte, binary.LittleEndian.Uint32(hdr[:]))
+	if _, err := io.ReadFull(rc.r, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// ---------------------------------------------------------------------------
+// Star transport (fallback and correctness oracle)
+// ---------------------------------------------------------------------------
+
+// tcpRoot is rank 0 of the star.
 type tcpRoot struct {
 	size  int
 	conns []*rankConn // index by rank; [0] nil
+	hook  CollectiveHook
 	mu    sync.Mutex
 }
 
@@ -160,9 +378,13 @@ func (c *tcpRoot) collect(op byte, own []float64, combine func(bufs [][]float64)
 	}
 	results := combine(bufs)
 	for r := 1; r < c.size; r++ {
+		putBuf(bufs[r]) // worker contributions decoded into pooled buffers
 		if err := c.conns[r].writeMsg(op, 0, results[r]); err != nil {
 			return nil, fmt.Errorf("cluster: root replying to rank %d: %w", r, err)
 		}
+	}
+	if c.hook != nil {
+		c.hook(kindOfOp(op), len(results[0]))
 	}
 	return results[0], nil
 }
@@ -251,7 +473,15 @@ func (c *tcpRoot) Bcast(buf []float64, root int) error {
 	return nil
 }
 
-// tcpWorker is a rank ≥ 1.
+// IAllreduceSum completes synchronously (the star cannot overlap).
+func (c *tcpRoot) IAllreduceSum(buf []float64) Request { return doneRequest(c.AllreduceSum(buf)) }
+
+// IAllgatherv completes synchronously (the star cannot overlap).
+func (c *tcpRoot) IAllgatherv(segment []float64, counts []int, out []float64) Request {
+	return doneRequest(c.Allgatherv(segment, counts, out))
+}
+
+// tcpWorker is a rank ≥ 1 of the star.
 type tcpWorker struct {
 	rank, size int
 	conn       *rankConn
@@ -272,7 +502,8 @@ func (c *tcpWorker) roundTrip(op byte, payload []float64) ([]float64, error) {
 }
 
 func (c *tcpWorker) Barrier() error {
-	_, err := c.roundTrip(opBarrier, nil)
+	res, err := c.roundTrip(opBarrier, nil)
+	putBuf(res)
 	return err
 }
 
@@ -282,6 +513,7 @@ func (c *tcpWorker) AllreduceSum(buf []float64) error {
 		return err
 	}
 	copy(buf, res)
+	putBuf(res)
 	return nil
 }
 
@@ -291,6 +523,7 @@ func (c *tcpWorker) AllreduceMax(buf []float64) error {
 		return err
 	}
 	copy(buf, res)
+	putBuf(res)
 	return nil
 }
 
@@ -300,9 +533,11 @@ func (c *tcpWorker) Allgatherv(segment []float64, counts []int, out []float64) e
 		return err
 	}
 	if len(res) != len(out) {
+		putBuf(res)
 		return fmt.Errorf("cluster: Allgatherv length mismatch: %d vs %d", len(res), len(out))
 	}
 	copy(out, res)
+	putBuf(res)
 	return nil
 }
 
@@ -312,5 +547,125 @@ func (c *tcpWorker) Bcast(buf []float64, root int) error {
 		return err
 	}
 	copy(buf, res)
+	putBuf(res)
 	return nil
+}
+
+// IAllreduceSum completes synchronously (the star cannot overlap).
+func (c *tcpWorker) IAllreduceSum(buf []float64) Request { return doneRequest(c.AllreduceSum(buf)) }
+
+// IAllgatherv completes synchronously (the star cannot overlap).
+func (c *tcpWorker) IAllgatherv(segment []float64, counts []int, out []float64) Request {
+	return doneRequest(c.Allgatherv(segment, counts, out))
+}
+
+// ---------------------------------------------------------------------------
+// Mesh transport
+// ---------------------------------------------------------------------------
+
+// meshComm is one rank of the fully-connected transport: a pairwise link
+// to every peer (the root's star connections double as its links), a
+// dedicated reader goroutine per link demultiplexing tagged frames into
+// per-peer mailboxes, and the topology-aware collectives on top. It
+// implements Comm, Messenger and NonBlocking.
+type meshComm struct {
+	rank, size int
+	links      []*rankConn // index by peer; [rank] nil
+	boxes      []*tagBox   // per-peer incoming messages (incl. self)
+	coll       coll
+}
+
+func newMeshComm(rank, size int, links []*rankConn, hook CollectiveHook) *meshComm {
+	mc := &meshComm{rank: rank, size: size, links: links, boxes: make([]*tagBox, size)}
+	for i := range mc.boxes {
+		mc.boxes[i] = newTagBox()
+	}
+	mc.coll.pw = mc
+	if rank == 0 {
+		mc.coll.hook = hook
+	}
+	for peer := range links {
+		if links[peer] != nil {
+			go mc.readLoop(peer)
+		}
+	}
+	return mc
+}
+
+// readLoop demultiplexes one link's frames into the peer's mailbox; on
+// connection loss the mailbox is poisoned so pending and future receives
+// error out instead of hanging.
+func (mc *meshComm) readLoop(peer int) {
+	rc := mc.links[peer]
+	for {
+		op, tag, payload, err := rc.readFrame()
+		if err != nil {
+			mc.boxes[peer].fail(fmt.Errorf("cluster: mesh link to rank %d: %w", peer, err))
+			return
+		}
+		if op != opTagged {
+			putBuf(payload)
+			mc.boxes[peer].fail(fmt.Errorf("cluster: mesh link to rank %d: unexpected op %d", peer, op))
+			return
+		}
+		mc.boxes[peer].put(int(tag), payload)
+	}
+}
+
+func (mc *meshComm) Rank() int { return mc.rank }
+func (mc *meshComm) Size() int { return mc.size }
+
+func (mc *meshComm) sendTag(to, tag int, data []float64) error {
+	if to == mc.rank {
+		buf := getBuf(len(data))
+		copy(buf, data)
+		mc.boxes[mc.rank].put(tag, buf)
+		return nil
+	}
+	return mc.links[to].writeFrame(opTagged, uint32(tag), data)
+}
+
+func (mc *meshComm) recvTag(from, tag int) ([]float64, error) {
+	return mc.boxes[from].take(tag)
+}
+
+func (mc *meshComm) Barrier() error                   { return mc.coll.Barrier() }
+func (mc *meshComm) AllreduceSum(buf []float64) error { return mc.coll.AllreduceSum(buf) }
+func (mc *meshComm) AllreduceMax(buf []float64) error { return mc.coll.AllreduceMax(buf) }
+func (mc *meshComm) Allgatherv(segment []float64, counts []int, out []float64) error {
+	return mc.coll.Allgatherv(segment, counts, out)
+}
+func (mc *meshComm) Bcast(buf []float64, root int) error { return mc.coll.Bcast(buf, root) }
+
+func (mc *meshComm) IAllreduceSum(buf []float64) Request { return mc.coll.IAllreduceSum(buf) }
+func (mc *meshComm) IAllgatherv(segment []float64, counts []int, out []float64) Request {
+	return mc.coll.IAllgatherv(segment, counts, out)
+}
+
+func (mc *meshComm) Send(to int, data []float64) error {
+	if to < 0 || to >= mc.size {
+		return fmt.Errorf("cluster: send to invalid rank %d", to)
+	}
+	return mc.sendTag(to, tagP2P, data)
+}
+
+func (mc *meshComm) Recv(from int) ([]float64, error) {
+	if from < 0 || from >= mc.size {
+		return nil, fmt.Errorf("cluster: recv from invalid rank %d", from)
+	}
+	return mc.recvTag(from, tagP2P)
+}
+
+// Close tears the mesh down: all links are closed, which terminates the
+// reader goroutines and poisons the mailboxes.
+func (mc *meshComm) Close() error {
+	var first error
+	for _, rc := range mc.links {
+		if rc != nil {
+			if err := rc.c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
 }

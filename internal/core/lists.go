@@ -299,30 +299,39 @@ func (s *EpolSolver) BuildEpolList(vLo, vHi int) *InteractionList {
 // BuildEpolListInto is BuildEpolList reusing an existing list's backing
 // arrays.
 func (s *EpolSolver) BuildEpolListInto(l *InteractionList, vLo, vHi int) *InteractionList {
+	return buildEpolLeafList(l, s.T, s.sep, vLo, vHi, s.nnz)
+}
+
+// buildEpolLeafList is the leaf-driven APPROX-EPOL traversal shared by the
+// full builder and the geometry-only skeleton builder. nnz may be nil, in
+// which case FarEval is left at 0 (to be filled in by CompleteFarStats).
+func buildEpolLeafList(l *InteractionList, t *octree.Tree, sep float64, vLo, vHi int, nnz func(int32) int64) *InteractionList {
 	l.reset()
-	if len(s.T.Nodes) == 0 {
+	if len(t.Nodes) == 0 {
 		return l
 	}
 	var stack pairStack
 	for vl := vLo; vl < vHi; vl++ {
-		v := s.T.LeafIdx[vl]
-		vn := &s.T.Nodes[v]
+		v := t.LeafIdx[vl]
+		vn := &t.Nodes[v]
 		stack = stack[:0]
 		stack.push(0, v)
 		for len(stack) > 0 {
 			p := stack.pop()
 			u := p.A
 			l.stats.NodesVisited++
-			un := &s.T.Nodes[u]
+			un := &t.Nodes[u]
 			if un.Leaf {
 				l.Near = append(l.Near, NodePair{u, v})
 				l.stats.NearPairs += int64(un.Count) * int64(vn.Count)
 				continue
 			}
 			d := un.Center.Dist(vn.Center)
-			if d > (un.Radius+vn.Radius)*s.sep {
+			if d > (un.Radius+vn.Radius)*sep {
 				l.Far = append(l.Far, NodePair{u, v})
-				l.stats.FarEval += s.nnz(u) * s.nnz(v)
+				if nnz != nil {
+					l.stats.FarEval += nnz(u) * nnz(v)
+				}
 				continue
 			}
 			for c := 7; c >= 0; c-- {
@@ -333,6 +342,36 @@ func (s *EpolSolver) BuildEpolListInto(l *InteractionList, vLo, vHi int) *Intera
 		}
 	}
 	return l
+}
+
+// EpolSeparation returns the well-separatedness factor 1 + 2/ε a solver
+// built with cfg will use (defaults applied) — what BuildEpolSkeletonInto
+// needs before the solver itself can exist.
+func EpolSeparation(cfg EpolConfig) float64 {
+	return 1 + 2/cfg.withDefaults().Eps
+}
+
+// BuildEpolSkeletonInto builds the energy interaction list from GEOMETRY
+// ALONE: the acceptance test needs only node centers, radii and the ε-derived
+// separation factor, so the list can be constructed before charges or Born
+// radii are known. Near, Far, NodesVisited and NearPairs are identical to
+// BuildEpolListInto on a solver over the same tree and ε; FarEval — the one
+// radii-dependent counter (it counts occupied Born-radius bin pairs) — is
+// left at 0 until CompleteFarStats. This is the hook that lets the
+// distributed engine overlap the Born-radius Allgatherv with list
+// construction: the traversal runs while the radii are still in flight.
+func BuildEpolSkeletonInto(l *InteractionList, t *octree.Tree, sep float64, vLo, vHi int) *InteractionList {
+	return buildEpolLeafList(l, t, sep, vLo, vHi, nil)
+}
+
+// CompleteFarStats fills in the radii-dependent FarEval counter of a
+// skeleton list built by BuildEpolSkeletonInto, making its Stats identical
+// to a BuildEpolList over the same range.
+func (s *EpolSolver) CompleteFarStats(l *InteractionList) {
+	l.stats.FarEval = 0
+	for _, p := range l.Far {
+		l.stats.FarEval += s.nnz(p.A) * s.nnz(p.B)
+	}
 }
 
 // BuildEpolDualList runs the dual-tree energy traversal of EnergyDual and

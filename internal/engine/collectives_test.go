@@ -1,0 +1,180 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+
+	"octgb/internal/cluster"
+)
+
+// Acceptance tests for the topology-aware collective layer: every engine
+// must reproduce the star-baseline energies to 1e-12 with identical Stats
+// counters, on both the in-process and the TCP transports.
+
+func TestTopoEnginesMatchStarBaseline(t *testing.T) {
+	pr := testProblem(500, 91)
+	cases := []struct {
+		name string
+		k    Kind
+		o    Options
+	}{
+		{"OctMPI/P4", OctMPI, Options{Ranks: 4}},
+		{"OctMPI/P3", OctMPI, Options{Ranks: 3}},
+		{"OctMPICilk/P3xT2", OctMPICilk, Options{Ranks: 3, Threads: 2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			oStar := tc.o
+			oStar.TopoCollectives = Off
+			star, err := RunReal(pr, tc.k, oStar)
+			if err != nil {
+				t.Fatal(err)
+			}
+			oTopo := tc.o
+			oTopo.TopoCollectives = On
+			topo, err := RunReal(pr, tc.k, oTopo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e := relErr(star.Energy, topo.Energy); e > 1e-12 {
+				t.Fatalf("energy: star %v vs topo %v (rel %v)", star.Energy, topo.Energy, e)
+			}
+			if star.BornStats != topo.BornStats {
+				t.Fatalf("BornStats: star %+v vs topo %+v", star.BornStats, topo.BornStats)
+			}
+			if star.EpolStats != topo.EpolStats {
+				t.Fatalf("EpolStats: star %+v vs topo %+v", star.EpolStats, topo.EpolStats)
+			}
+			for i := range star.BornRadii {
+				if e := relErr(star.BornRadii[i], topo.BornRadii[i]); e > 1e-12 {
+					t.Fatalf("radius %d: star %v vs topo %v", i, star.BornRadii[i], topo.BornRadii[i])
+				}
+			}
+		})
+	}
+}
+
+func TestDistDataTopoMatchesStar(t *testing.T) {
+	pr := testProblem(500, 92)
+	oStar := Options{TopoCollectives: Off}
+	star, err := RunDistributedDataEnergy(pr, 4, oStar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oTopo := Options{TopoCollectives: On}
+	topo, err := RunDistributedDataEnergy(pr, 4, oTopo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := relErr(star, topo); e > 1e-12 {
+		t.Fatalf("distdata energy: star %v vs topo %v (rel %v)", star, topo, e)
+	}
+}
+
+// overTCP runs fn on every rank of a loopback TCP group (star or mesh).
+func overTCP(t *testing.T, size int, mesh bool, fn func(c cluster.Comm, rank int) error) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	addr := ln.Addr().String()
+	var opts []cluster.TCPOption
+	if mesh {
+		opts = append(opts, cluster.WithMesh())
+	}
+
+	errs := make([]error, size)
+	comms := make([]cluster.Comm, size)
+	var wg sync.WaitGroup
+	for r := 1; r < size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			c, err := cluster.DialTCP(addr, r, size, opts...)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			comms[r] = c
+			errs[r] = fn(c, r)
+		}(r)
+	}
+	root, err := cluster.NewTCPRoot(ln, size, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comms[0] = root
+	errs[0] = fn(root, 0)
+	wg.Wait()
+	for _, c := range comms {
+		if cl, ok := c.(io.Closer); ok {
+			cl.Close()
+		}
+	}
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}
+
+func TestRunRankOverTCPMatchesLocal(t *testing.T) {
+	pr := testProblem(400, 93)
+	P := 3
+	base, err := RunReal(pr, OctMPI, Options{Ranks: P, TopoCollectives: Off})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mesh := range []bool{false, true} {
+		t.Run(fmt.Sprintf("mesh=%v", mesh), func(t *testing.T) {
+			reps := make([]RealReport, P)
+			overTCP(t, P, mesh, func(c cluster.Comm, rank int) error {
+				rep, err := RunRank(c, pr, Options{})
+				reps[rank] = rep
+				return err
+			})
+			agg := reps[0]
+			for _, r := range reps[1:] {
+				if e := relErr(r.Energy, base.Energy); e > 1e-12 {
+					t.Fatalf("rank energy %v vs baseline %v (rel %v)", r.Energy, base.Energy, e)
+				}
+				agg.BornStats.Add(r.BornStats)
+				agg.EpolStats.Add(r.EpolStats)
+			}
+			if e := relErr(reps[0].Energy, base.Energy); e > 1e-12 {
+				t.Fatalf("root energy %v vs baseline %v (rel %v)", reps[0].Energy, base.Energy, e)
+			}
+			if agg.BornStats != base.BornStats {
+				t.Fatalf("BornStats: tcp %+v vs baseline %+v", agg.BornStats, base.BornStats)
+			}
+			if agg.EpolStats != base.EpolStats {
+				t.Fatalf("EpolStats: tcp %+v vs baseline %+v", agg.EpolStats, base.EpolStats)
+			}
+		})
+	}
+}
+
+func TestDistDataOverTCPMesh(t *testing.T) {
+	pr := testProblem(400, 94)
+	P := 3
+	want, err := RunDistributedDataEnergy(pr, P, Options{TopoCollectives: Off})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, P)
+	overTCP(t, P, true, func(c cluster.Comm, rank int) error {
+		e, err := RunDistributedDataEnergyRank(c, pr, Options{})
+		got[rank] = e
+		return err
+	})
+	for r, e := range got {
+		if re := relErr(e, want); re > 1e-12 {
+			t.Fatalf("rank %d: mesh energy %v vs local %v (rel %v)", r, e, want, re)
+		}
+	}
+}

@@ -116,6 +116,19 @@ type Options struct {
 	// where the recursive path omits the frontier pre-expansion steps.
 	// Energies and radii agree to ~1e-12 (summation order differs).
 	UseFlatKernels Toggle
+	// TopoCollectives selects the topology-aware collective algorithms in
+	// the cluster layer (recursive-doubling allreduce, ring allgatherv,
+	// binomial bcast, dissemination barrier — see cluster/collectives.go)
+	// and, with them, the non-blocking overlap points in the engines: the
+	// two step-3 allreduces run concurrently, the step-5 Born-radius
+	// allgatherv overlaps with geometry-only E_pol list construction, and
+	// the distributed-data engine evaluates its purely-local leaves while
+	// ghost payloads are in flight. Defaults to on (Auto); Off falls back
+	// to the star/monitor reference collectives with strictly sequential
+	// compute→communicate phases — the correctness oracle. Energies agree
+	// to ~1e-12 (reduction association differs) and Stats counters are
+	// identical.
+	TopoCollectives Toggle
 	// WeightedStatic enables explicit work-weighted static balancing
 	// across ranks: leaf segments are cut by measured per-leaf work
 	// instead of leaf count. This implements the "explicit load

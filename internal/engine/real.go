@@ -11,6 +11,15 @@ import (
 	"octgb/internal/sched"
 )
 
+// collectiveAlgo maps the TopoCollectives toggle onto the cluster layer's
+// algorithm selector for in-process groups.
+func collectiveAlgo(o Options) cluster.Algorithm {
+	if o.TopoCollectives.enabled(true) {
+		return cluster.Topo
+	}
+	return cluster.Star
+}
+
 // RealReport is the result of a genuinely executed parallel run.
 type RealReport struct {
 	Energy    float64
@@ -273,7 +282,7 @@ func runDistributedReal(pr *Problem, o Options) (RealReport, error) {
 	P := o.Ranks
 
 	results := make([]RealReport, P)
-	err := cluster.RunLocal(P, nil, func(c cluster.Comm) error {
+	err := cluster.RunLocalAlgo(P, nil, collectiveAlgo(o), func(c cluster.Comm) error {
 		rep, err := runRank(c, bs, pr, o)
 		if err != nil {
 			return err
@@ -362,12 +371,28 @@ func runRank(c cluster.Comm, bs *core.BornSolver, pr *Problem, o Options) (RealR
 
 	lap(&rep.Phases.Born)
 
-	// Step 3: gather partial integrals (MPI_Allreduce).
-	if err := c.AllreduceSum(sNode); err != nil {
-		return rep, err
-	}
-	if err := c.AllreduceSum(sAtom); err != nil {
-		return rep, err
+	// Step 3: gather partial integrals (MPI_Allreduce). With a non-blocking
+	// transport both reductions are initiated before either is waited on,
+	// so the sNode exchange overlaps the sAtom one instead of serializing
+	// behind it.
+	nb, hasNB := c.(cluster.NonBlocking)
+	useTopo := hasNB && o.TopoCollectives.enabled(true)
+	if useTopo {
+		rNode := nb.IAllreduceSum(sNode)
+		rAtom := nb.IAllreduceSum(sAtom)
+		if err := rNode.Wait(); err != nil {
+			return rep, err
+		}
+		if err := rAtom.Wait(); err != nil {
+			return rep, err
+		}
+	} else {
+		if err := c.AllreduceSum(sNode); err != nil {
+			return rep, err
+		}
+		if err := c.AllreduceSum(sAtom); err != nil {
+			return rep, err
+		}
 	}
 	lap(&rep.Phases.Comm)
 
@@ -377,25 +402,44 @@ func runRank(c cluster.Comm, bs *core.BornSolver, pr *Problem, o Options) (RealR
 	bs.PushIntegrals(sNode, sAtom, int32(aseg.Lo), int32(aseg.Hi), rTree)
 	lap(&rep.Phases.Push)
 
-	// Step 5: gather Born radii of the other segments.
+	// Step 5: gather Born radii of the other segments — overlapped, when
+	// the transport is non-blocking, with step 6's list construction: the
+	// E_pol acceptance test needs only tree geometry and ε, so the skeleton
+	// interaction list is built while the radii are still in flight
+	// (core.BuildEpolSkeletonInto) and its one radii-dependent Stats
+	// counter is completed once the solver exists (CompleteFarStats).
 	counts := make([]int, P)
 	for r := 0; r < P; r++ {
 		counts[r] = partition.ForRank(n, P, r).Len()
 	}
 	rFull := make([]float64, n)
-	if err := c.Allgatherv(rTree[aseg.Lo:aseg.Hi], counts, rFull); err != nil {
+	ecfg := core.EpolConfig{Eps: o.EpolEps, Math: o.Math}
+	lseg := partition.ForRank(bs.TA.NumLeaves(), P, rank)
+	var skel *core.InteractionList
+	if useTopo && useFlat {
+		req := nb.IAllgatherv(rTree[aseg.Lo:aseg.Hi], counts, rFull)
+		skel = core.BuildEpolSkeletonInto(new(core.InteractionList), bs.TA, core.EpolSeparation(ecfg), lseg.Lo, lseg.Hi)
+		lap(&rep.Phases.Epol)
+		if err := req.Wait(); err != nil {
+			return rep, err
+		}
+	} else if err := c.Allgatherv(rTree[aseg.Lo:aseg.Hi], counts, rFull); err != nil {
 		return rep, err
 	}
 	rep.BornRadii = bs.RadiiToOriginal(rFull)
 	lap(&rep.Phases.Comm)
 
 	// Step 6: partial energy for this rank's leaf segment.
-	es := core.NewEpolSolver(bs.TA, pr.Charges, rep.BornRadii, core.EpolConfig{Eps: o.EpolEps, Math: o.Math})
-	lseg := partition.ForRank(es.NumLeaves(), P, rank)
+	es := core.NewEpolSolver(bs.TA, pr.Charges, rep.BornRadii, ecfg)
 	var raw float64
 	switch {
 	case useFlat:
-		list := es.BuildEpolList(lseg.Lo, lseg.Hi)
+		list := skel
+		if list != nil {
+			es.CompleteFarStats(list)
+		} else {
+			list = es.BuildEpolList(lseg.Lo, lseg.Hi)
+		}
 		rep.EpolStats.Add(list.Stats())
 		if o.Threads == 1 {
 			raw, _ = es.EvalEpolList(list)

@@ -204,11 +204,20 @@ func (sm *SimModel) Time(P, threads int, m simtime.Machine, seed int64) SimTimin
 	if threads > 1 {
 		overhead = m.HybridOverhead
 	}
+	topo := sm.Opts.TopoCollectives.enabled(true)
 
 	clocks := simtime.NewClocks(P)
 	var comm float64
-	sync := func(kind string, words int) {
-		c := jit(m.CollectiveCost(kind, words, P, rpn), 0.5)
+	// sync charges one collective under the selected algorithm
+	// (AlgoCollectiveCost matches what cluster/collectives.go executes).
+	// overlapSec seconds of independent compute — already on the rank
+	// clocks via the compute phases — hide the same amount of collective
+	// time, modeling a non-blocking operation waited on afterwards.
+	sync := func(kind string, words int, overlapSec float64) {
+		c := jit(m.AlgoCollectiveCost(kind, topo, words, P, rpn), 0.5) - overlapSec
+		if c < 0 {
+			c = 0
+		}
 		var max float64
 		for _, t := range clocks.T {
 			if t > max {
@@ -239,7 +248,7 @@ func (sm *SimModel) Time(P, threads int, m simtime.Machine, seed int64) SimTimin
 		}
 		// Phase 3: Allreduce of partial integrals (s_A per node + s_a per
 		// atom).
-		sync("allreduce", len(sm.bs.TA.Nodes)+sm.numAtoms)
+		sync("allreduce", len(sm.bs.TA.Nodes)+sm.numAtoms, 0)
 	}
 
 	// Phase 4: push integrals to atoms (atom segments).
@@ -247,9 +256,17 @@ func (sm *SimModel) Time(P, threads int, m simtime.Machine, seed int64) SimTimin
 	for r := 0; r < P; r++ {
 		clocks.Advance(r, jit(pushPer, computeAmp))
 	}
-	// Phase 5: Allgather Born radii.
+	// Phase 5: Allgather Born radii. Under the topology-aware layer the
+	// engine overlaps this with the energy phase's geometry-only list
+	// construction (real.go step 5), so the per-rank traversal cost — the
+	// NodesVisited share of phase 6, charged there — credits against the
+	// collective here.
 	if sm.Kind != OctCilk && sm.Kind != Naive {
-		sync("allgatherv", sm.numAtoms)
+		var overlapSec float64
+		if topo {
+			overlapSec = float64(sm.EpolStats.NodesVisited) * sm.oc.NodeVisitSec * pen / float64(P)
+		}
+		sync("allgatherv", sm.numAtoms, overlapSec)
 	}
 
 	// Phase 6: energy (node-based leaf segments).
@@ -269,7 +286,7 @@ func (sm *SimModel) Time(P, threads int, m simtime.Machine, seed int64) SimTimin
 			clocks.Advance(r, jit(t, computeAmp))
 		}
 		// Phase 7: reduce partial energies.
-		sync("allreduce", 1)
+		sync("allreduce", 1, 0)
 	}
 
 	total := clocks.Elapsed()
@@ -318,10 +335,11 @@ func (sm *SimModel) TimeAtomBased(P, threads int, m simtime.Machine) (SimTiming,
 	pen := m.MemoryPenalty(sm.BytesPerRank, rpn)
 	overhead := overheadFor(threads, m)
 
+	topo := sm.Opts.TopoCollectives.enabled(true)
 	clocks := simtime.NewClocks(P)
 	var comm float64
 	sync := func(kind string, words int) {
-		c := m.CollectiveCost(kind, words, P, rpn)
+		c := m.AlgoCollectiveCost(kind, topo, words, P, rpn)
 		var max float64
 		for _, t := range clocks.T {
 			if t > max {

@@ -37,6 +37,54 @@ func TestCollectiveCostGrowsWithRanksAndWords(t *testing.T) {
 	}
 }
 
+func TestAlgoCollectiveCost(t *testing.T) {
+	m := Lonestar4()
+	for _, kind := range []string{"barrier", "allreduce", "allreducemax", "allgatherv", "bcast"} {
+		if m.AlgoCollectiveCost(kind, true, 1000, 1, 1) != 0 {
+			t.Errorf("%s: single rank should be free", kind)
+		}
+		// Topo must beat the star at scale on large buffers — the claim
+		// the whole layer exists for (log-depth vs. O(P·m) at the root).
+		for _, P := range []int{8, 16, 64} {
+			star := m.AlgoCollectiveCost(kind, false, 1<<16, P, 2)
+			topo := m.AlgoCollectiveCost(kind, true, 1<<16, P, 2)
+			if topo*2 > star {
+				t.Errorf("%s P=%d: topo %v not ≥2x faster than star %v", kind, P, topo, star)
+			}
+		}
+	}
+	// Non-power-of-two allreduce pays the pre/post fold on top of the
+	// power-of-two exchange.
+	pow2 := m.AlgoCollectiveCost("allreduce", true, 1000, 8, 1)
+	nonPow2 := m.AlgoCollectiveCost("allreduce", true, 1000, 9, 1)
+	if nonPow2 <= pow2 {
+		t.Errorf("non-pow2 fold not charged: P=9 %v vs P=8 %v", nonPow2, pow2)
+	}
+	// Ring allgatherv is bandwidth-optimal: the per-word cost tends to
+	// t_w·m (not t_w·m·log P) as P grows.
+	g8 := m.AlgoCollectiveCost("allgatherv", true, 1<<20, 8, 1)
+	g64 := m.AlgoCollectiveCost("allgatherv", true, 1<<20, 64, 1)
+	if g64 > 1.2*g8 {
+		t.Errorf("ring allgatherv not bandwidth-bound: P=64 %v vs P=8 %v", g64, g8)
+	}
+}
+
+func TestSyncCollectiveAlgoOverlapCredit(t *testing.T) {
+	m := Lonestar4()
+	full := NewClocks(4)
+	full.SyncCollectiveAlgo(m, "allgatherv", true, 1<<16, 1, 0)
+	part := NewClocks(4)
+	part.SyncCollectiveAlgo(m, "allgatherv", true, 1<<16, 1, full.Elapsed()/2)
+	if e := math.Abs(part.Elapsed() - full.Elapsed()/2); e > 1e-15 {
+		t.Errorf("overlap credit: %v vs %v", part.Elapsed(), full.Elapsed()/2)
+	}
+	over := NewClocks(4)
+	over.SyncCollectiveAlgo(m, "allgatherv", true, 1<<16, 1, 10*full.Elapsed())
+	if over.Elapsed() != 0 {
+		t.Errorf("over-credit should clamp to zero, got %v", over.Elapsed())
+	}
+}
+
 func TestMemoryPenaltyRegimes(t *testing.T) {
 	m := Lonestar4()
 	// Fits in L3: no penalty.
