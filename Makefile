@@ -1,9 +1,10 @@
 GO ?= go
 
-.PHONY: verify build vet test race bench bench-kernels bench-comm
+.PHONY: verify build vet test race fuzz chaos bench bench-kernels bench-comm
 
 ## verify: the tier-1 gate — build, vet, full tests, then race-test the
-## concurrency-bearing packages (scheduler + treecode kernels).
+## concurrency-bearing packages (scheduler, treecode kernels, cluster
+## transports, distributed engines, chaos harness).
 verify: build vet test race
 
 build:
@@ -16,7 +17,20 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sched/... ./internal/core/... ./internal/cluster/...
+	$(GO) test -race ./internal/sched/... ./internal/core/... ./internal/cluster/... ./internal/engine/... ./internal/clusterchaos/...
+
+## fuzz: short smoke of the native fuzz targets (wire-frame decoder and PQR
+## parser) on top of their committed seed corpora. CI-friendly budget; run
+## with a larger -fuzztime locally to dig.
+fuzz:
+	$(GO) test ./internal/cluster/ -run '^$$' -fuzz FuzzDecodeFrame -fuzztime 10s
+	$(GO) test ./internal/molecule/ -run '^$$' -fuzz FuzzParsePQR -fuzztime 10s
+
+## chaos: the full fault-injection acceptance matrix — every fault class ×
+## both transports × P ∈ {2,4,8} × 8 seeds. The fatal classes each spend
+## their receive timeout, so this takes minutes by design.
+chaos:
+	CHAOS_FULL=1 $(GO) test ./internal/clusterchaos/ -run TestChaosMatrix -timeout 30m -v
 
 ## bench: every figure/table benchmark at reduced scale.
 bench:

@@ -17,10 +17,12 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"time"
 
 	"octgb/internal/cluster"
 	"octgb/internal/engine"
@@ -43,6 +45,7 @@ func main() {
 		epolEps = flag.Float64("epoleps", 0.9, "E_pol ε")
 		approx  = flag.Bool("approx", false, "approximate math")
 		mesh    = flag.Bool("mesh", true, "build the worker-to-worker mesh for topology-aware collectives (same flag on every rank; -mesh=false falls back to the root star)")
+		timeout = flag.Duration("commtimeout", 30*time.Second, "failure-detection timeout: a rank silent this long is reported failed (same value on every rank; 0 disables detection and blocks forever)")
 	)
 	flag.Parse()
 
@@ -51,12 +54,18 @@ func main() {
 		fatal(err)
 	}
 	pr := engine.NewProblem(mol, surface.Default())
-	opts := engine.Options{Threads: *threads, BornEps: *bornEps, EpolEps: *epolEps}
+	opts := engine.Options{Threads: *threads, BornEps: *bornEps, EpolEps: *epolEps, CommTimeout: *timeout}
 	if *approx {
 		opts.Math = gb.Approximate
 	}
 
-	var tcpOpts []cluster.TCPOption
+	// The transport logger surfaces fault-tolerance events — dial retries
+	// and, above all, the Topo→Star downgrade when the mesh cannot be
+	// completed — so a degraded deployment is visible, not silent.
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "epolnode: "+format+"\n", args...)
+	}
+	tcpOpts := []cluster.TCPOption{cluster.WithLogger(logf), cluster.WithCommTimeout(opts.CommTimeout)}
 	if *mesh {
 		tcpOpts = append(tcpOpts, cluster.WithMesh())
 	}
@@ -84,6 +93,13 @@ func main() {
 
 	rep, err := engine.RunRank(comm, pr, opts)
 	if err != nil {
+		var rf cluster.ErrRankFailed
+		if errors.As(err, &rf) {
+			fmt.Fprintf(os.Stderr, "epolnode: rank %d failed (silent past %v)\n", rf.Rank, *timeout)
+			if fd, ok := comm.(cluster.FailureDetector); ok {
+				fmt.Fprintf(os.Stderr, "epolnode: liveness: %v\n", fd.AliveRanks())
+			}
+		}
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "epolnode: rank %d/%d done (wall local work only)\n", comm.Rank(), comm.Size())

@@ -1,0 +1,249 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"octgb/internal/testutil"
+)
+
+// runChaosLocal runs fn on p in-process ranks, each wrapped with the plan.
+func runChaosLocal(p int, plan *FaultPlan, fn func(c Comm) error) []error {
+	g := NewLocalGroup(p, nil)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			cc, err := WrapChaos(g.Comm(r), plan)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			errs[r] = fn(cc)
+		}(r)
+	}
+	wg.Wait()
+	return errs
+}
+
+// chaosWorkload runs a fixed collective + p2p sequence and returns rank 0's
+// observed values for comparison across plans.
+func chaosWorkload(p int) (func(c Comm) error, *[][]float64, *sync.Mutex) {
+	results := make([][]float64, p)
+	var mu sync.Mutex
+	fn := func(c Comm) error {
+		rank := c.Rank()
+		var got []float64
+		for round := 0; round < 5; round++ {
+			buf := []float64{float64(rank + round), 1, float64(rank * rank)}
+			if err := c.AllreduceSum(buf); err != nil {
+				return err
+			}
+			got = append(got, buf...)
+			counts := make([]int, p)
+			total := 0
+			for r := range counts {
+				counts[r] = r + 1
+				total += r + 1
+			}
+			seg := make([]float64, counts[rank])
+			for i := range seg {
+				seg[i] = float64(10*rank + i + round)
+			}
+			out := make([]float64, total)
+			if err := c.Allgatherv(seg, counts, out); err != nil {
+				return err
+			}
+			got = append(got, out...)
+			b := []float64{float64(rank), float64(round)}
+			if err := c.Bcast(b, round%p); err != nil {
+				return err
+			}
+			got = append(got, b...)
+			msgr := c.(Messenger)
+			if err := msgr.Send((rank+1)%p, []float64{float64(rank), float64(round)}); err != nil {
+				return err
+			}
+			m, err := msgr.Recv((rank + p - 1) % p)
+			if err != nil {
+				return err
+			}
+			got = append(got, m...)
+			ReleaseBuffer(m)
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+		}
+		mu.Lock()
+		results[rank] = got
+		mu.Unlock()
+		return nil
+	}
+	return fn, &results, &mu
+}
+
+// TestChaosAbsorbableFaultsAreInvisible: a schedule of duplicates,
+// corruptions, truncations and delays must not change a single bit of any
+// rank's results — the seq+CRC framing detects every damaged frame and the
+// clean retransmit replaces it.
+func TestChaosAbsorbableFaultsAreInvisible(t *testing.T) {
+	defer testutil.Watchdog(t, 0)()
+	for _, p := range []int{2, 3, 5} {
+		fn, clean, _ := chaosWorkload(p)
+		for r, err := range runChaosLocal(p, &FaultPlan{Timeout: 5 * time.Second}, fn) {
+			if err != nil {
+				t.Fatalf("p=%d clean rank %d: %v", p, r, err)
+			}
+		}
+		var faults []Fault
+		for frame := 0; frame < 2*p+8; frame++ {
+			kind := []FaultKind{FaultDuplicate, FaultCorrupt, FaultTruncate, FaultDelay}[frame%4]
+			f := Fault{Kind: kind, Rank: frame % p, Frame: frame}
+			if kind == FaultDelay {
+				f.Delay = time.Millisecond
+			}
+			faults = append(faults, f)
+		}
+		fn2, faulty, _ := chaosWorkload(p)
+		for r, err := range runChaosLocal(p, &FaultPlan{Timeout: 5 * time.Second, Faults: faults}, fn2) {
+			if err != nil {
+				t.Fatalf("p=%d faulty rank %d: %v", p, r, err)
+			}
+		}
+		for r := range *clean {
+			a, b := (*clean)[r], (*faulty)[r]
+			if len(a) != len(b) {
+				t.Fatalf("p=%d rank %d: lengths %d vs %d", p, r, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("p=%d rank %d word %d: %v (clean) vs %v (faulty) — fault leaked into results", p, r, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}
+
+// TestChaosCrashFailsTyped: a crashed rank returns ErrRankFailed naming
+// itself, every peer returns ErrRankFailed naming a rank it observed going
+// silent (the victim directly, or a rank that unwound because of the
+// victim — blame cascades along the collective's data paths), and all of
+// it within the receive timeout.
+func TestChaosCrashFailsTyped(t *testing.T) {
+	defer testutil.Watchdog(t, 0)()
+	const p, victim = 3, 1
+	timeout := 300 * time.Millisecond
+	plan := &FaultPlan{Timeout: timeout, Faults: []Fault{{Kind: FaultCrash, Rank: victim, Frame: 0}}}
+	start := time.Now()
+	errs := runChaosLocal(p, plan, func(c Comm) error {
+		buf := []float64{1}
+		return c.AllreduceSum(buf)
+	})
+	elapsed := time.Since(start)
+	for r, err := range errs {
+		var rf ErrRankFailed
+		if !errors.As(err, &rf) {
+			t.Fatalf("rank %d: got %v, want ErrRankFailed", r, err)
+		}
+		if r == victim && rf.Rank != victim {
+			t.Errorf("victim blamed rank %d, want itself", rf.Rank)
+		}
+		if r != victim && rf.Rank == r {
+			t.Errorf("rank %d blamed itself without crashing", r)
+		}
+	}
+	if elapsed > 2*timeout {
+		t.Errorf("failure took %v, budget 2×%v", elapsed, timeout)
+	}
+}
+
+// TestChaosDropFailsTyped: severing one link surfaces ErrRankFailed on at
+// least the two endpoints without hanging anyone else.
+func TestChaosDropFailsTyped(t *testing.T) {
+	defer testutil.Watchdog(t, 0)()
+	const p = 4
+	timeout := 300 * time.Millisecond
+	plan := &FaultPlan{Timeout: timeout, Faults: []Fault{{Kind: FaultDrop, Rank: 2, Frame: 0, Peer: 0}}}
+	errs := runChaosLocal(p, plan, func(c Comm) error {
+		buf := []float64{1}
+		if err := c.AllreduceSum(buf); err != nil {
+			return err
+		}
+		return c.Barrier()
+	})
+	failed := 0
+	for r, err := range errs {
+		if err == nil {
+			continue
+		}
+		var rf ErrRankFailed
+		if !errors.As(err, &rf) {
+			t.Fatalf("rank %d: untyped error %v", r, err)
+		}
+		failed++
+	}
+	if failed == 0 {
+		t.Fatal("no rank observed the severed link")
+	}
+}
+
+// TestWrapChaosRejectsStarTransports: the star TCP comms have no pairwise
+// layer to inject into; wrapping them must be a loud error, not a silent
+// no-op.
+func TestWrapChaosRejectsStarTransports(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	root, err := NewTCPRoot(ln, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WrapChaos(root, nil); err == nil {
+		t.Fatal("WrapChaos accepted a star transport")
+	}
+}
+
+// TestChaosP2PSurvivesCorruption: the Messenger path uses the same framed
+// protocol as the collectives.
+func TestChaosP2PSurvivesCorruption(t *testing.T) {
+	defer testutil.Watchdog(t, 0)()
+	plan := &FaultPlan{Timeout: 2 * time.Second, Faults: []Fault{
+		{Kind: FaultCorrupt, Rank: 0, Frame: 0},
+		{Kind: FaultDuplicate, Rank: 0, Frame: 1},
+	}}
+	errs := runChaosLocal(2, plan, func(c Comm) error {
+		msgr := c.(Messenger)
+		if c.Rank() == 0 {
+			for k := 0; k < 4; k++ {
+				if err := msgr.Send(1, []float64{float64(k), 2.5}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for k := 0; k < 4; k++ {
+			m, err := msgr.Recv(0)
+			if err != nil {
+				return err
+			}
+			if len(m) != 2 || m[0] != float64(k) || m[1] != 2.5 {
+				return fmt.Errorf("message %d arrived damaged: %v", k, m)
+			}
+			ReleaseBuffer(m)
+		}
+		return nil
+	})
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}

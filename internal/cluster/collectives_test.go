@@ -8,6 +8,8 @@ import (
 	"net"
 	"sync"
 	"testing"
+
+	"octgb/internal/testutil"
 )
 
 // runMeshGroup runs fn on every rank of a TCP mesh group over loopback
@@ -141,6 +143,7 @@ func compareToReference(t *testing.T, label string, ref, got [][]float64) {
 // the monitor-based star oracle, across power-of-two and non-power-of-two
 // rank counts.
 func TestTopoCollectivesMatchStarReference(t *testing.T) {
+	defer testutil.Watchdog(t, 0)()
 	for _, p := range []int{1, 2, 3, 5, 8, 13} {
 		ref, err := collectiveWorkload(p, func(fn func(c Comm) error) error {
 			return RunLocalAlgo(p, nil, Star, fn)
@@ -162,6 +165,7 @@ func TestTopoCollectivesMatchStarReference(t *testing.T) {
 // TCP worker-to-worker mesh and cross-checks against the in-process star
 // oracle.
 func TestMeshCollectivesMatchStarReference(t *testing.T) {
+	defer testutil.Watchdog(t, 0)()
 	for _, p := range []int{1, 2, 3, 5, 8} {
 		ref, err := collectiveWorkload(p, func(fn func(c Comm) error) error {
 			return RunLocalAlgo(p, nil, Star, fn)
@@ -182,6 +186,7 @@ func TestMeshCollectivesMatchStarReference(t *testing.T) {
 // TestTCPStarCollectivesStillMatch keeps the coalesced-write star path
 // honest against the in-process star oracle.
 func TestTCPStarCollectivesStillMatch(t *testing.T) {
+	defer testutil.Watchdog(t, 0)()
 	p := 5
 	ref, err := collectiveWorkload(p, func(fn func(c Comm) error) error {
 		return RunLocalAlgo(p, nil, Star, fn)
@@ -306,6 +311,7 @@ func overlapStress(p, rounds, n int) func(c Comm) error {
 }
 
 func TestNonBlockingOverlapStressLocal(t *testing.T) {
+	defer testutil.Watchdog(t, 0)()
 	for _, p := range []int{2, 5, 8} {
 		if err := RunLocal(p, nil, overlapStress(p, 25, 64)); err != nil {
 			t.Fatalf("p=%d: %v", p, err)
@@ -314,6 +320,7 @@ func TestNonBlockingOverlapStressLocal(t *testing.T) {
 }
 
 func TestNonBlockingOverlapStressMesh(t *testing.T) {
+	defer testutil.Watchdog(t, 0)()
 	p := 4
 	if err := runMeshGroup(p, overlapStress(p, 10, 64)); err != nil {
 		t.Fatal(err)
@@ -323,6 +330,7 @@ func TestNonBlockingOverlapStressMesh(t *testing.T) {
 // TestMeshMessengerOrdering: multiple sends to the same destination are
 // received in order over the mesh.
 func TestMeshMessengerOrdering(t *testing.T) {
+	defer testutil.Watchdog(t, 0)()
 	p := 3
 	err := runMeshGroup(p, func(c Comm) error {
 		msgr := c.(Messenger)
@@ -353,6 +361,7 @@ func TestMeshMessengerOrdering(t *testing.T) {
 // TestMeshCloseUnblocksPeers: tearing a rank down poisons its peers'
 // mailboxes so in-flight collectives error out instead of hanging.
 func TestMeshCloseUnblocksPeers(t *testing.T) {
+	defer testutil.Watchdog(t, 0)()
 	p := 3
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

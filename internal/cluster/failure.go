@@ -1,0 +1,80 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// This file defines the cluster layer's failure model. The transports were
+// originally written for a well-behaved interconnect: reads blocked forever
+// and any I/O error was fatal and untyped. The hardened model is:
+//
+//   - A silent peer is a FAILED peer. When a transport is created with a
+//     communication timeout (WithCommTimeout on TCP, FaultPlan.Timeout on
+//     the chaos wrapper), every frame read carries a deadline and every
+//     link runs a heartbeat writer at a fraction of that timeout, so a
+//     merely-slow peer (long compute phase between collectives) keeps its
+//     links warm while a dead one trips the deadline.
+//   - A tripped deadline is converted into the typed ErrRankFailed carrying
+//     the rank of the silent peer, and that error is surfaced through every
+//     collective and point-to-point receive (the mesh poisons the peer's
+//     mailbox, the star transports return it from the blocked read), so
+//     callers can tell "rank 3 died" from "my arguments were wrong".
+//   - Dial-time failures are retried with bounded exponential backoff plus
+//     deterministic jitter before they are reported.
+//   - Mesh construction failures degrade instead of aborting: if any worker
+//     cannot complete its pairwise links, the whole group falls back to the
+//     star topology through the root (see tcp.go's verdict round).
+
+// ErrRankFailed reports that a peer rank went silent past the configured
+// communication timeout or its connection was lost. It is returned (possibly
+// wrapped) by collectives and receives on every transport with failure
+// detection enabled; unwrap with errors.As:
+//
+//	var rf cluster.ErrRankFailed
+//	if errors.As(err, &rf) { log.Printf("rank %d failed", rf.Rank) }
+type ErrRankFailed struct {
+	// Rank is the rank believed to have failed. On the rank that crashed
+	// itself (chaos harness), Rank is its own rank.
+	Rank int
+	// Cause is the underlying error (deadline exceeded, connection reset,
+	// injected crash), if any.
+	Cause error
+}
+
+func (e ErrRankFailed) Error() string {
+	if e.Cause != nil {
+		return fmt.Sprintf("cluster: rank %d failed: %v", e.Rank, e.Cause)
+	}
+	return fmt.Sprintf("cluster: rank %d failed", e.Rank)
+}
+
+func (e ErrRankFailed) Unwrap() error { return e.Cause }
+
+// errRecvTimeout is the internal sentinel a timed mailbox take returns; the
+// caller (chaos wrapper, TCP reader) attributes it to a peer and converts it
+// into ErrRankFailed.
+var errRecvTimeout = errors.New("cluster: receive timed out")
+
+// FailureDetector is implemented by transports that track peer liveness
+// (the TCP mesh and the star root when created with WithCommTimeout).
+// AliveRanks reports, per rank, whether the peer has been heard from —
+// any frame, heartbeats included — within twice the communication timeout.
+// The local rank is always alive; without a timeout every rank is reported
+// alive.
+type FailureDetector interface {
+	AliveRanks() []bool
+}
+
+// heartbeatInterval derives the heartbeat period from the communication
+// timeout. It is strictly smaller than the timeout (one third), so a live
+// peer always lands at least two heartbeats inside any read deadline window
+// and slow compute never masquerades as rank failure.
+func heartbeatInterval(timeout time.Duration) time.Duration {
+	iv := timeout / 3
+	if iv <= 0 {
+		iv = time.Nanosecond
+	}
+	return iv
+}

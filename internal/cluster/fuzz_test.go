@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// fuzzFrameBytes marshals a wire frame exactly like rankConn.writeFrame —
+// through writeFrame itself, into a memory buffer — so the seed corpus
+// stays in lockstep with the encoder.
+func fuzzFrameBytes(t testing.TB, op byte, aux uint32, payload []float64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	rc := &rankConn{w: bufio.NewWriter(&buf), peer: -1}
+	if err := rc.writeFrame(op, aux, payload); err != nil {
+		t.Fatalf("writeFrame: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzDecodeFrame drives the wire decoders (readFrame and readBlob) with
+// arbitrary bytes. The contract under test: the decoders return errors —
+// they never panic, never allocate beyond the frame bounds
+// (maxFrameWords/maxBlobLen), and never loop forever on a finite stream.
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add(fuzzFrameBytes(f, opBarrier, 0, nil))
+	f.Add(fuzzFrameBytes(f, opTagged, 42, []float64{1, 2.5, -3}))
+	f.Add(fuzzFrameBytes(f, opAllreduceSum, 0, []float64{3.14}))
+	bad := fuzzFrameBytes(f, opAllreduceMax, 0, []float64{1e300})
+	bad[len(bad)-1] ^= 0xFF // payload corruption: CRC must reject
+	f.Add(bad)
+	huge := fuzzFrameBytes(f, opBcast, 0, nil)
+	binary.LittleEndian.PutUint32(huge[5:9], 0xFFFFFFFF) // absurd length: bound must reject
+	f.Add(huge)
+	hb := append(fuzzFrameBytes(f, opHeartbeat, 0, nil), fuzzFrameBytes(f, opBarrier, 0, nil)...)
+	f.Add(hb) // heartbeat is consumed transparently, barrier delivered
+	f.Add([]byte{})
+	f.Add([]byte("not a frame at all"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rc := &rankConn{r: bufio.NewReader(bytes.NewReader(data)), peer: -1}
+		for {
+			_, _, payload, err := rc.readFrame()
+			if err != nil {
+				break // any error is acceptable; a panic or hang is not
+			}
+			putBuf(payload)
+		}
+		rc = &rankConn{r: bufio.NewReader(bytes.NewReader(data)), peer: -1}
+		for {
+			if _, err := rc.readBlob(); err != nil {
+				break
+			}
+		}
+	})
+}
+
+// TestDecodeFrameRoundTrip pins the encoder/decoder pair outside the fuzz
+// engine: every op round-trips, corruption and oversized lengths error.
+func TestDecodeFrameRoundTrip(t *testing.T) {
+	payload := []float64{0, 1.5, -2.25, 1e-300}
+	data := fuzzFrameBytes(t, opTagged, 9, payload)
+	rc := &rankConn{r: bufio.NewReader(bytes.NewReader(data)), peer: 3}
+	op, aux, got, err := rc.readFrame()
+	if err != nil {
+		t.Fatalf("readFrame: %v", err)
+	}
+	if op != opTagged || aux != 9 || len(got) != len(payload) {
+		t.Fatalf("frame mismatch: op=%d aux=%d n=%d", op, aux, len(got))
+	}
+	for i := range payload {
+		if got[i] != payload[i] {
+			t.Fatalf("payload[%d] = %v, want %v", i, got[i], payload[i])
+		}
+	}
+	putBuf(got)
+
+	data = fuzzFrameBytes(t, opTagged, 9, payload)
+	data[len(data)-3] ^= 0x10
+	rc = &rankConn{r: bufio.NewReader(bytes.NewReader(data)), peer: 3}
+	if _, _, _, err := rc.readFrame(); err == nil {
+		t.Fatal("corrupted frame decoded without error")
+	}
+
+	data = fuzzFrameBytes(t, opBcast, 0, nil)
+	binary.LittleEndian.PutUint32(data[5:9], maxFrameWords+1)
+	rc = &rankConn{r: bufio.NewReader(bytes.NewReader(data)), peer: 3}
+	if _, _, _, err := rc.readFrame(); err == nil {
+		t.Fatal("oversized frame decoded without error")
+	}
+}

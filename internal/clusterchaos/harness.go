@@ -1,0 +1,298 @@
+// Package clusterchaos is the deterministic fault-injection harness for
+// the distributed engines: it runs OCT_MPI parity experiments under every
+// fault class of cluster.FaultPlan, on both the in-process transport and
+// the TCP mesh, and states the acceptance rule of the failure model as
+// code (Check):
+//
+//   - Absorbable faults (delay, duplicate, corrupt, truncate) must be
+//     invisible: every rank completes and the energy matches the
+//     fault-free baseline to 1e-12 — the chaos protocol's CRC32C catches
+//     the damaged frames and the deterministic retransmit replaces them.
+//   - Non-absorbable faults (crash, drop) must fail cleanly: at least one
+//     rank returns cluster.ErrRankFailed, the first failure surfaces
+//     within twice the receive timeout, no rank hangs, and no goroutines
+//     leak (the callers assert the last property with
+//     testutil.WaitGoroutines).
+//
+// Everything is seeded: the same (P, seed, kind, transport) tuple produces
+// the same fault schedule and therefore the same run, which is what makes
+// a chaos failure reproducible instead of anecdotal.
+package clusterchaos
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"octgb/internal/cluster"
+	"octgb/internal/engine"
+	"octgb/internal/molecule"
+	"octgb/internal/surface"
+)
+
+// Transport selects the substrate under test.
+type Transport int
+
+const (
+	// Local runs the ranks as goroutines over the in-process mailbox grid.
+	Local Transport = iota
+	// TCPMesh runs the ranks over a loopback TCP mesh (WithMesh).
+	TCPMesh
+)
+
+func (tr Transport) String() string {
+	if tr == TCPMesh {
+		return "tcpmesh"
+	}
+	return "local"
+}
+
+// Config is one chaos experiment.
+type Config struct {
+	P         int
+	Seed      int64
+	Kind      cluster.FaultKind
+	Transport Transport
+	// Timeout is the receive timeout (FaultPlan.Timeout) for the faulty
+	// run; non-absorbable classes need it to convert silence into
+	// ErrRankFailed.
+	Timeout time.Duration
+	// Atoms sizes the synthetic molecule (0 = 300, small enough that the
+	// experiment is communication-dominated).
+	Atoms int
+}
+
+func (c Config) String() string {
+	return fmt.Sprintf("%s/P=%d/%s/seed=%d", c.Transport, c.P, c.Kind, c.Seed)
+}
+
+// RankOutcome is one rank's result: its energy on success, its error and
+// the time from run start to its return otherwise.
+type RankOutcome struct {
+	Energy  float64
+	Err     error
+	Elapsed time.Duration
+}
+
+// Result is the outcome of one experiment.
+type Result struct {
+	Baseline float64       // fault-free energy (identical code path: chaos-wrapped, empty plan)
+	Outcomes []RankOutcome // by rank, from the faulty run
+	Elapsed  time.Duration // wall time of the faulty run (slowest rank)
+}
+
+// NewPlan derives the deterministic fault schedule for a configuration.
+// Frame indices are kept small (every rank executes at least ~2 pairwise
+// operations per collective, and the engine runs several collectives), so
+// each scheduled fault actually fires during the run.
+func NewPlan(cfg Config) *cluster.FaultPlan {
+	rng := rand.New(rand.NewSource(cfg.Seed<<16 ^ int64(cfg.P)<<8 ^ int64(cfg.Kind)))
+	plan := &cluster.FaultPlan{Timeout: cfg.Timeout}
+	switch cfg.Kind {
+	case cluster.FaultCrash:
+		plan.Faults = append(plan.Faults, cluster.Fault{
+			Kind: cluster.FaultCrash, Rank: rng.Intn(cfg.P), Frame: rng.Intn(4),
+		})
+	case cluster.FaultDrop:
+		// Sever a ring link: the allgatherv ring and the dissemination
+		// barrier exercise (r±1) mod P at every P, so the dropped link is
+		// guaranteed to carry traffic. An arbitrary pair can be one the
+		// collective schedule never touches at this P (e.g. ranks 0 and 3
+		// at P=8), which would make the drop a silent no-op.
+		r := rng.Intn(cfg.P)
+		p := (r + 1) % cfg.P
+		if rng.Intn(2) == 1 {
+			p = (r + cfg.P - 1) % cfg.P
+		}
+		plan.Faults = append(plan.Faults, cluster.Fault{
+			Kind: cluster.FaultDrop, Rank: r, Frame: rng.Intn(4), Peer: p,
+		})
+	default: // absorbable: several injections spread across ranks and frames
+		for i, n := 0, 2+rng.Intn(3); i < n; i++ {
+			f := cluster.Fault{Kind: cfg.Kind, Rank: rng.Intn(cfg.P), Frame: rng.Intn(2*cfg.P + 6)}
+			if cfg.Kind == cluster.FaultDelay {
+				f.Delay = time.Duration(1+rng.Intn(5)) * time.Millisecond
+			}
+			plan.Faults = append(plan.Faults, f)
+		}
+	}
+	return plan
+}
+
+// Run executes the experiment: a fault-free baseline first (chaos-wrapped
+// with an empty plan, so both runs take the identical code path), then the
+// faulty run under NewPlan(cfg). A baseline failure is an error of the
+// harness itself, not a finding.
+func Run(cfg Config) (*Result, error) {
+	if cfg.P < 2 {
+		return nil, fmt.Errorf("clusterchaos: need P ≥ 2, got %d", cfg.P)
+	}
+	atoms := cfg.Atoms
+	if atoms <= 0 {
+		atoms = 300
+	}
+	pr := engine.NewProblem(molecule.GenerateProtein(fmt.Sprintf("chaos_%d", atoms), atoms, 42), surface.Default())
+
+	baseline, err := baselineEnergy(cfg, pr, atoms)
+	if err != nil {
+		return nil, err
+	}
+	res, err := runOnce(cfg, pr, NewPlan(cfg))
+	if err != nil {
+		return nil, err
+	}
+	res.Baseline = baseline
+	return res, nil
+}
+
+// baselineCache memoizes fault-free energies per (transport, P, atoms):
+// the baseline is deterministic (Topo collectives are bitwise-reproducible
+// for a fixed P), so a seed sweep pays for it once.
+var baselineCache sync.Map
+
+func baselineEnergy(cfg Config, pr *engine.Problem, atoms int) (float64, error) {
+	key := fmt.Sprintf("%s/%d/%d", cfg.Transport, cfg.P, atoms)
+	if v, ok := baselineCache.Load(key); ok {
+		return v.(float64), nil
+	}
+	base, err := runOnce(cfg, pr, &cluster.FaultPlan{Timeout: cfg.Timeout})
+	if err != nil {
+		return 0, fmt.Errorf("clusterchaos: baseline: %w", err)
+	}
+	for r, o := range base.Outcomes {
+		if o.Err != nil {
+			return 0, fmt.Errorf("clusterchaos: baseline rank %d failed: %w", r, o.Err)
+		}
+	}
+	baselineCache.Store(key, base.Outcomes[0].Energy)
+	return base.Outcomes[0].Energy, nil
+}
+
+// Check applies the failure model's acceptance rule to an experiment.
+func Check(cfg Config, res *Result) error {
+	if cfg.Kind.Absorbable() {
+		for r, o := range res.Outcomes {
+			if o.Err != nil {
+				return fmt.Errorf("%s: absorbable fault leaked an error on rank %d: %w", cfg, r, o.Err)
+			}
+		}
+		e := res.Outcomes[0].Energy
+		if diff := math.Abs(e - res.Baseline); diff > 1e-12*math.Abs(res.Baseline) {
+			return fmt.Errorf("%s: energy diverged: %.17g vs baseline %.17g (|Δ|=%g)", cfg, e, res.Baseline, diff)
+		}
+		return nil
+	}
+	// Crash/drop: at least one rank must fail, every failure must be the
+	// typed ErrRankFailed, and the first failure must surface within twice
+	// the receive timeout (one timeout for the direct observer, one more
+	// for a cascading stage).
+	firstAt := time.Duration(math.MaxInt64)
+	failed := false
+	for r, o := range res.Outcomes {
+		if o.Err == nil {
+			continue
+		}
+		var rf cluster.ErrRankFailed
+		if !errors.As(o.Err, &rf) {
+			return fmt.Errorf("%s: rank %d failed with an untyped error: %v", cfg, r, o.Err)
+		}
+		failed = true
+		if o.Elapsed < firstAt {
+			firstAt = o.Elapsed
+		}
+	}
+	if !failed {
+		return fmt.Errorf("%s: no rank reported ErrRankFailed", cfg)
+	}
+	if cfg.Timeout > 0 && firstAt > 2*cfg.Timeout {
+		return fmt.Errorf("%s: first ErrRankFailed after %v, budget 2×%v", cfg, firstAt, cfg.Timeout)
+	}
+	return nil
+}
+
+// runOnce builds the transport, wraps every rank with the plan, and runs
+// the OCT_MPI engine (single-threaded ranks — the deterministic engine the
+// parity criterion needs) on all ranks concurrently.
+func runOnce(cfg Config, pr *engine.Problem, plan *cluster.FaultPlan) (*Result, error) {
+	comms, cleanup, err := buildComms(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	res := &Result{Outcomes: make([]RankOutcome, cfg.P)}
+	opts := engine.Options{Threads: 1, CommTimeout: cfg.Timeout}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for r := 0; r < cfg.P; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			wrapped, err := cluster.WrapChaos(comms[r], plan)
+			if err != nil {
+				res.Outcomes[r] = RankOutcome{Err: err, Elapsed: time.Since(start)}
+				return
+			}
+			rep, err := engine.RunRank(wrapped, pr, opts)
+			res.Outcomes[r] = RankOutcome{Energy: rep.Energy, Err: err, Elapsed: time.Since(start)}
+		}(r)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// buildComms constructs one communicator per rank on the requested
+// transport. The returned cleanup tears the transport down (closing the
+// TCP links stops heartbeats and reader goroutines, so leak checks can run
+// after it).
+func buildComms(cfg Config) ([]cluster.Comm, func(), error) {
+	switch cfg.Transport {
+	case Local:
+		g := cluster.NewLocalGroup(cfg.P, nil)
+		comms := make([]cluster.Comm, cfg.P)
+		for r := 0; r < cfg.P; r++ {
+			comms[r] = g.Comm(r)
+		}
+		return comms, func() {}, nil
+	case TCPMesh:
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, nil, err
+		}
+		comms := make([]cluster.Comm, cfg.P)
+		errs := make([]error, cfg.P)
+		var wg sync.WaitGroup
+		for r := 0; r < cfg.P; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				if r == 0 {
+					comms[0], errs[0] = cluster.NewTCPRoot(ln, cfg.P, cluster.WithMesh())
+				} else {
+					comms[r], errs[r] = cluster.DialTCP(ln.Addr().String(), r, cfg.P, cluster.WithMesh())
+				}
+			}(r)
+		}
+		wg.Wait()
+		ln.Close()
+		cleanup := func() {
+			for _, c := range comms {
+				if cl, ok := c.(interface{ Close() error }); ok && cl != nil {
+					cl.Close()
+				}
+			}
+		}
+		for r, err := range errs {
+			if err != nil {
+				cleanup()
+				return nil, nil, fmt.Errorf("clusterchaos: building TCP mesh rank %d: %w", r, err)
+			}
+		}
+		return comms, cleanup, nil
+	}
+	return nil, nil, fmt.Errorf("clusterchaos: unknown transport %d", cfg.Transport)
+}

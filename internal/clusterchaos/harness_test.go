@@ -1,0 +1,118 @@
+package clusterchaos
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"octgb/internal/cluster"
+	"octgb/internal/testutil"
+)
+
+var allKinds = []cluster.FaultKind{
+	cluster.FaultDelay, cluster.FaultDuplicate, cluster.FaultCorrupt,
+	cluster.FaultTruncate, cluster.FaultDrop, cluster.FaultCrash,
+}
+
+// caseTimeout picks the receive timeout per fault class: absorbable faults
+// never consume it (generous, so compute skew cannot trip it); crash/drop
+// cases pay it in wall time, so it is kept tight.
+func caseTimeout(k cluster.FaultKind) time.Duration {
+	if k.Absorbable() {
+		return 5 * time.Second
+	}
+	return 600 * time.Millisecond
+}
+
+// runCase executes one experiment under a deadlock watchdog and verifies
+// the acceptance rule plus the zero-goroutine-leak property.
+func runCase(t *testing.T, cfg Config) {
+	t.Helper()
+	defer testutil.Watchdog(t, 90*time.Second)()
+	g0 := runtime.NumGoroutine()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", cfg, err)
+	}
+	if err := Check(cfg, res); err != nil {
+		t.Fatal(err)
+	}
+	// Everything the run spawned — engine ranks, in-flight non-blocking
+	// collectives, transport readers and heartbeats — must drain within
+	// the timeout budget once the transport is torn down.
+	if n := testutil.WaitGoroutines(g0+2, 2*cfg.Timeout+2*time.Second); n > g0+2 {
+		t.Errorf("%s: goroutine leak: %d live, baseline %d", cfg, n, g0)
+	}
+}
+
+// TestChaosQuick is the tier-1 slice of the matrix: every fault class on
+// the in-process transport at P ∈ {2, 4}, plus a TCP-mesh spot check of
+// one absorbable and one fatal class. The full P ∈ {2,4,8} × 8-seed × both
+// transports matrix runs under `make chaos` (CHAOS_FULL=1).
+func TestChaosQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos experiments are not -short")
+	}
+	for _, p := range []int{2, 4} {
+		for _, k := range allKinds {
+			cfg := Config{P: p, Seed: 1, Kind: k, Transport: Local, Timeout: caseTimeout(k)}
+			t.Run(fmt.Sprintf("local/P=%d/%s", p, k), func(t *testing.T) { runCase(t, cfg) })
+		}
+	}
+	for _, k := range []cluster.FaultKind{cluster.FaultCorrupt, cluster.FaultCrash} {
+		cfg := Config{P: 2, Seed: 1, Kind: k, Transport: TCPMesh, Timeout: caseTimeout(k)}
+		t.Run(fmt.Sprintf("tcpmesh/P=2/%s", k), func(t *testing.T) { runCase(t, cfg) })
+	}
+}
+
+// TestChaosMatrix is the full acceptance matrix: every fault class × both
+// transports × P ∈ {2, 4, 8} × 8 seeds. Gated behind CHAOS_FULL=1 (set by
+// `make chaos`) because it takes minutes by design — the fatal classes each
+// spend their timeout.
+func TestChaosMatrix(t *testing.T) {
+	if os.Getenv("CHAOS_FULL") == "" {
+		t.Skip("set CHAOS_FULL=1 (or run `make chaos`) for the full matrix")
+	}
+	for _, tr := range []Transport{Local, TCPMesh} {
+		for _, p := range []int{2, 4, 8} {
+			for _, k := range allKinds {
+				for seed := int64(1); seed <= 8; seed++ {
+					cfg := Config{P: p, Seed: seed, Kind: k, Transport: tr, Timeout: caseTimeout(k)}
+					t.Run(cfg.String(), func(t *testing.T) { runCase(t, cfg) })
+				}
+			}
+		}
+	}
+}
+
+// TestPlanDeterminism pins the seeding contract: the same configuration
+// always yields the same schedule, different seeds yield different ones.
+func TestPlanDeterminism(t *testing.T) {
+	cfg := Config{P: 4, Seed: 7, Kind: cluster.FaultCorrupt, Timeout: time.Second}
+	a, b := NewPlan(cfg), NewPlan(cfg)
+	if len(a.Faults) != len(b.Faults) {
+		t.Fatalf("plan not deterministic: %d vs %d faults", len(a.Faults), len(b.Faults))
+	}
+	for i := range a.Faults {
+		if a.Faults[i] != b.Faults[i] {
+			t.Fatalf("plan not deterministic at fault %d: %+v vs %+v", i, a.Faults[i], b.Faults[i])
+		}
+	}
+	cfg2 := cfg
+	cfg2.Seed = 8
+	c := NewPlan(cfg2)
+	same := len(a.Faults) == len(c.Faults)
+	if same {
+		for i := range a.Faults {
+			if a.Faults[i] != c.Faults[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"octgb/internal/cluster"
+	"octgb/internal/testutil"
 )
 
 // Acceptance tests for the topology-aware collective layer: every engine
@@ -15,6 +16,7 @@ import (
 // counters, on both the in-process and the TCP transports.
 
 func TestTopoEnginesMatchStarBaseline(t *testing.T) {
+	defer testutil.Watchdog(t, 0)()
 	pr := testProblem(500, 91)
 	cases := []struct {
 		name string
@@ -58,6 +60,7 @@ func TestTopoEnginesMatchStarBaseline(t *testing.T) {
 }
 
 func TestDistDataTopoMatchesStar(t *testing.T) {
+	defer testutil.Watchdog(t, 0)()
 	pr := testProblem(500, 92)
 	oStar := Options{TopoCollectives: Off}
 	star, err := RunDistributedDataEnergy(pr, 4, oStar)
@@ -124,6 +127,7 @@ func overTCP(t *testing.T, size int, mesh bool, fn func(c cluster.Comm, rank int
 }
 
 func TestRunRankOverTCPMatchesLocal(t *testing.T) {
+	defer testutil.Watchdog(t, 0)()
 	pr := testProblem(400, 93)
 	P := 3
 	base, err := RunReal(pr, OctMPI, Options{Ranks: P, TopoCollectives: Off})
@@ -160,6 +164,7 @@ func TestRunRankOverTCPMatchesLocal(t *testing.T) {
 }
 
 func TestDistDataOverTCPMesh(t *testing.T) {
+	defer testutil.Watchdog(t, 0)()
 	pr := testProblem(400, 94)
 	P := 3
 	want, err := RunDistributedDataEnergy(pr, P, Options{TopoCollectives: Off})

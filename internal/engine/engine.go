@@ -17,6 +17,7 @@ package engine
 
 import (
 	"fmt"
+	"time"
 
 	"octgb/internal/gb"
 	"octgb/internal/molecule"
@@ -129,6 +130,16 @@ type Options struct {
 	// to ~1e-12 (reduction association differs) and Stats counters are
 	// identical.
 	TopoCollectives Toggle
+	// CommTimeout is the failure-detection budget for distributed runs:
+	// callers that build a transport (cmd/epolnode, the chaos harness)
+	// pass it through to the cluster layer (cluster.WithCommTimeout /
+	// FaultPlan.Timeout), where a peer silent past the timeout surfaces as
+	// cluster.ErrRankFailed from every collective instead of hanging the
+	// run. Zero (the default) disables failure detection: reads block
+	// forever, the pre-hardening behavior. The engine itself never arms
+	// timers — liveness is the transport's job (heartbeats run at a third
+	// of this timeout, so slow compute phases do not trip it).
+	CommTimeout time.Duration
 	// WeightedStatic enables explicit work-weighted static balancing
 	// across ranks: leaf segments are cut by measured per-leaf work
 	// instead of leaf count. This implements the "explicit load

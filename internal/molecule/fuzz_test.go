@@ -1,0 +1,34 @@
+package molecule
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParsePQR drives ReadPQR with arbitrary bytes. The contract under
+// test: the parser returns errors on malformed input — it never panics —
+// and anything it accepts is a valid molecule (Validate already ran) that
+// WritePQR can serialize back.
+func FuzzParsePQR(f *testing.F) {
+	f.Add([]byte("REMARK  octgb molecule demo (1 atoms)\nATOM      1  X   MOL     1       1.000    2.000    3.000   0.5000  1.500\nEND\n"))
+	f.Add([]byte("HETATM    1  O   HOH     2       0.000    0.000    0.000  -0.8000  1.400\n"))
+	f.Add([]byte("ATOM 1 N ALA A 1 11.104 6.134 -6.504 0.5 1.85\n"))
+	f.Add([]byte("ATOM too few fields\n"))
+	f.Add([]byte("ATOM 1 X MOL 1 1 2 3 4 0\n"))       // zero radius: Validate must reject
+	f.Add([]byte("ATOM 1 X MOL 1 NaN 2 3 0.5 1.5\n")) // non-finite position
+	f.Add([]byte(""))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadPQR(bytes.NewReader(data), "fuzz")
+		if err != nil {
+			return
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("ReadPQR accepted a molecule Validate rejects: %v", err)
+		}
+		var out bytes.Buffer
+		if err := WritePQR(&out, m); err != nil {
+			t.Fatalf("WritePQR failed on a parsed molecule: %v", err)
+		}
+	})
+}

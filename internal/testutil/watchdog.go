@@ -1,0 +1,80 @@
+// Package testutil holds helpers shared by the test suites. It is imported
+// only from _test.go files and ships no production code.
+package testutil
+
+import (
+	"runtime"
+	"time"
+)
+
+// failer is the subset of testing.TB the watchdog needs (kept narrow so the
+// package does not force a testing import on callers' production builds).
+type failer interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+// DefaultWatchdogTimeout is the deadline Watchdog applies when the caller
+// passes 0: collective tests that block longer than this are considered
+// deadlocked.
+const DefaultWatchdogTimeout = 30 * time.Second
+
+// Watchdog guards a test against deadlock: if the returned stop function is
+// not called within timeout (0 = DefaultWatchdogTimeout), the test fails
+// with a full goroutine dump — turning a silent `go test` hang that only
+// dies at the 10-minute package timeout into an immediate, attributable
+// failure showing exactly which collective stage every goroutine is blocked
+// in. Use with defer:
+//
+//	defer testutil.Watchdog(t, 0)()
+//
+// The dump is produced with runtime.Stack(all=true), the same format as a
+// SIGQUIT dump. The watchdog fires via Errorf from its own goroutine
+// (Fatalf must not be called off the test goroutine); the blocked test then
+// still hangs until the package timeout, but the dump and failure are
+// already recorded and visible.
+func Watchdog(t failer, timeout time.Duration) (stop func()) {
+	t.Helper()
+	if timeout <= 0 {
+		timeout = DefaultWatchdogTimeout
+	}
+	done := make(chan struct{})
+	fired := make(chan struct{})
+	go func() {
+		defer close(fired)
+		select {
+		case <-done:
+		case <-time.After(timeout):
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Errorf("testutil: watchdog: test still blocked after %v — goroutine dump:\n%s", timeout, buf[:n])
+		}
+	}()
+	var stopped bool
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		close(done)
+		<-fired
+	}
+}
+
+// WaitGoroutines polls until the live goroutine count drops to at most
+// want, or deadline elapses; it returns the final count. Fault-tolerance
+// tests use it to prove that error unwinding leaks nothing: in-flight
+// non-blocking collectives and transport readers are bounded by the receive
+// timeout, so counts return to baseline shortly after a failed run.
+func WaitGoroutines(want int, deadline time.Duration) int {
+	end := time.Now().Add(deadline)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= want || time.Now().After(end) {
+			return n
+		}
+		runtime.GC() // nudge finalizer-held goroutines along
+		time.Sleep(10 * time.Millisecond)
+	}
+}
