@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build vet test race fuzz chaos bench bench-kernels bench-comm
+.PHONY: verify build vet test race fuzz chaos bench bench-kernels bench-comm serve-bench
 
 ## verify: the tier-1 gate — build, vet, full tests, then race-test the
 ## concurrency-bearing packages (scheduler, treecode kernels, cluster
@@ -17,7 +17,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sched/... ./internal/core/... ./internal/cluster/... ./internal/engine/... ./internal/clusterchaos/...
+	$(GO) test -race ./internal/sched/... ./internal/core/... ./internal/cluster/... ./internal/engine/... ./internal/clusterchaos/... ./internal/serve/...
 
 ## fuzz: short smoke of the native fuzz targets (wire-frame decoder and PQR
 ## parser) on top of their committed seed corpora. CI-friendly budget; run
@@ -45,3 +45,9 @@ bench-kernels:
 ## report (topo vs star algorithms, both transports, modeled cluster costs).
 bench-comm:
 	$(GO) run ./cmd/benchcomm -o BENCH_comm.json
+
+## serve-bench: regenerate the committed BENCH_serve.json serving-layer
+## report (cold vs warm request latency through the prepared-problem cache,
+## batched pose sweep vs sequential single requests).
+serve-bench:
+	$(GO) run ./cmd/benchserve -o BENCH_serve.json

@@ -25,6 +25,7 @@ import (
 	"octgb/internal/gb"
 	"octgb/internal/geom"
 	"octgb/internal/molecule"
+	"octgb/internal/serve"
 	"octgb/internal/simtime"
 	"octgb/internal/surface"
 )
@@ -164,4 +165,30 @@ func GenerateCapsid(name string, n int, thickness float64, seed int64) *Molecule
 // SampleSurface generates the molecular-surface quadrature points of mol.
 func SampleSurface(mol *Molecule, so SurfaceOptions) []QPoint {
 	return surface.Sample(mol, so)
+}
+
+// Serving layer: a resident HTTP/JSON evaluation service with a
+// prepared-problem cache, pose-sweep batching and admission control
+// (cmd/epolserve is the command-line wrapper). See the serve package docs
+// for endpoints and configuration.
+type (
+	// ServeConfig configures a Server.
+	ServeConfig = serve.Config
+	// Server is the resident evaluation service.
+	Server = serve.Server
+	// Prepared is a reusable preprocessed problem: surface + octrees +
+	// Born radii, ready for repeated E_pol evaluation.
+	Prepared = engine.Prepared
+)
+
+// NewServer builds an evaluation service and starts its worker pool; call
+// Start (or mount Handler) to serve, Shutdown to drain.
+func NewServer(cfg ServeConfig) *Server { return serve.New(cfg) }
+
+// Prepare runs the preprocessing half of an evaluation once (octree
+// construction + Born radii, the paper's steps 1-4) so EvalEpol can be
+// called repeatedly — with different ε_E settings if desired — without
+// repeating it.
+func Prepare(pr *Problem, o EngineOptions) (*Prepared, error) {
+	return engine.Prepare(pr, o)
 }

@@ -1,8 +1,10 @@
 package octgb
 
 import (
+	"context"
 	"math"
 	"testing"
+	"time"
 )
 
 func TestComputeDefault(t *testing.T) {
@@ -91,5 +93,51 @@ func TestCapsidViaFacade(t *testing.T) {
 	}
 	if res.Energy >= 0 {
 		t.Errorf("capsid energy %v", res.Energy)
+	}
+}
+
+// TestPrepareViaFacade: the public Prepare/EvalEpol split matches Compute
+// on the shared-memory engine.
+func TestPrepareViaFacade(t *testing.T) {
+	mol := GenerateProtein("api-prep", 400, 6)
+	so := SurfaceOptions{SubdivLevel: 1, Degree: 1, RadiusScale: 1}
+	res, err := Compute(mol, Options{Engine: OctCilk, Threads: 1, BornEps: 0.9, EpolEps: 0.9, Surface: so})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Prepare(NewProblem(mol, so), EngineOptions{Threads: 1, BornEps: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := p.EvalEpol(EngineOptions{Threads: 1, EpolEps: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(rep.Energy-res.Energy) / math.Abs(res.Energy); rel > 1e-12 {
+		t.Fatalf("Prepare+EvalEpol %.17g vs Compute %.17g (rel %.2g)", rep.Energy, res.Energy, rel)
+	}
+	// A second evaluation reuses the preprocessing (bitwise with 1 thread).
+	again, err := p.EvalEpol(EngineOptions{Threads: 1, EpolEps: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Energy != rep.Energy {
+		t.Fatalf("re-evaluation drifted: %.17g vs %.17g", again.Energy, rep.Energy)
+	}
+}
+
+// TestServerViaFacade: the NewServer facade stands up a working service.
+func TestServerViaFacade(t *testing.T) {
+	s := NewServer(ServeConfig{Addr: "127.0.0.1:0", Workers: 1, Threads: 1})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Addr() == "" {
+		t.Fatal("no bound address")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
 	}
 }

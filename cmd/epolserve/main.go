@@ -1,0 +1,108 @@
+// Command epolserve runs the resident E_pol evaluation service: an
+// HTTP/JSON server with a prepared-problem cache, pose-sweep batching and
+// admission control in front of the engine layer.
+//
+// Usage:
+//
+//	epolserve -addr :8686 -workers 2 -threads 4
+//	epolserve -ranks 4                  # hybrid engine for cold requests
+//	epolserve -cache-mb 1024 -queue 256 # bigger deployment
+//
+// Endpoints: POST /v1/energy, POST /v1/sweep, GET /healthz, GET /stats.
+// See README "Serving" for a curl quickstart and DESIGN.md §9 for the
+// architecture. SIGTERM/SIGINT drain gracefully: in-flight and queued
+// requests complete, new ones are rejected with 503.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"octgb/internal/serve"
+	"octgb/internal/surface"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "epolserve:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable entry point: it parses args, serves until
+// SIGTERM/SIGINT, drains and returns. When ready is non-nil the bound
+// address is sent on it once the listener is up.
+func run(args []string, out io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("epolserve", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		addr        = fs.String("addr", serve.DefaultAddr, "listen address")
+		workers     = fs.Int("workers", 2, "worker pool size (concurrent evaluations)")
+		threads     = fs.Int("threads", 2, "work-stealing threads per evaluation")
+		ranks       = fs.Int("ranks", 1, "in-process ranks; > 1 uses the hybrid engine for cold requests")
+		queue       = fs.Int("queue", 64, "submission queue capacity (admission limit)")
+		cacheMB     = fs.Int("cache-mb", 256, "prepared-problem cache budget in MiB")
+		maxAtoms    = fs.Int("max-atoms", 200000, "reject molecules larger than this")
+		batchWindow = fs.Duration("batch-window", 5*time.Millisecond, "sweep coalescing window")
+		deadline    = fs.Duration("deadline", 60*time.Second, "default per-request deadline")
+		drain       = fs.Duration("drain-timeout", 2*time.Minute, "graceful shutdown budget")
+		bornEps     = fs.Float64("borneps", 0.9, "default Born-radius approximation parameter ε")
+		epolEps     = fs.Float64("epoleps", 0.9, "default energy approximation parameter ε")
+		subdiv      = fs.Int("subdiv", 1, "default surface icosphere subdivision level")
+		degree      = fs.Int("degree", 1, "default Dunavant quadrature degree (1-5)")
+		verbose     = fs.Bool("v", false, "log every request")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := serve.Config{
+		Addr:            *addr,
+		Workers:         *workers,
+		Threads:         *threads,
+		Ranks:           *ranks,
+		MaxQueue:        *queue,
+		MaxCacheBytes:   int64(*cacheMB) << 20,
+		MaxAtoms:        *maxAtoms,
+		BatchWindow:     *batchWindow,
+		DefaultDeadline: *deadline,
+		BornEps:         *bornEps,
+		EpolEps:         *epolEps,
+		Surface:         surface.Options{SubdivLevel: *subdiv, Degree: *degree},
+	}
+	if *verbose {
+		cfg.Logger = log.New(out, "", log.LstdFlags|log.Lmicroseconds)
+	}
+
+	// Register the handler before binding so a signal racing startup is
+	// never lost.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+
+	s := serve.New(cfg)
+	if err := s.Start(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "epolserve: listening on %s\n", s.Addr())
+	if ready != nil {
+		ready <- s.Addr()
+	}
+
+	sig := <-sigCh
+	fmt.Fprintf(out, "epolserve: %v — draining\n", sig)
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Fprintln(out, "epolserve: drained")
+	return nil
+}

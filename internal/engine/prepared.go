@@ -1,0 +1,197 @@
+package engine
+
+import (
+	"time"
+
+	"octgb/internal/core"
+	"octgb/internal/molecule"
+	"octgb/internal/sched"
+	"octgb/internal/surface"
+)
+
+// Prepared is a fully preprocessed shared-memory problem: the sampled
+// surface, both octrees with their per-node aggregates, and the effective
+// Born radii — everything in Fig. 4 steps 1–4 that depends only on the
+// molecule geometry, the surface sampling, and the Born-phase parameters.
+// None of that changes across repeated energy evaluations, so a Prepared
+// can be cached and re-evaluated with different E_pol parameters (ε_E,
+// math mode, thread count) without re-sampling the surface or rebuilding
+// the trees. This is the paper's §IV-C "octree construction as a
+// preprocessing step", promoted to a first-class value; internal/serve
+// keys an LRU of these by molecule content hash.
+//
+// A Prepared is immutable after Prepare and safe for concurrent EvalEpol
+// calls: the octrees and solver aggregates are read-only after
+// construction, and every evaluation builds its own EpolSolver and
+// accumulators.
+type Prepared struct {
+	// Pr is the underlying problem (molecule + sampled surface + charges).
+	Pr *Problem
+	// BornRadii are the effective Born radii in original atom order.
+	BornRadii []float64
+	// BornStats are the Born-phase treecode work counters.
+	BornStats core.Stats
+	// BornSched is the scheduler activity of the Born phase.
+	BornSched sched.Stats
+
+	bs   *core.BornSolver
+	opts Options // prepare-time options, defaults resolved
+}
+
+// Prepare runs the preprocessing phase (steps 1–4: octree construction,
+// Born integrals, Born radii) with the shared-memory engine and returns
+// the reusable result. The Born-relevant fields of o (BornEps, LeafSize,
+// CriterionPower, Threads, UseFlatKernels) apply here; the E_pol fields
+// are consumed later by EvalEpol.
+func Prepare(pr *Problem, o Options) (*Prepared, error) {
+	o = o.withDefaults(OctCilk)
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	return prepareCilk(pr, o), nil
+}
+
+// NewProblemFromSurface bundles a molecule with an externally produced
+// quadrature point set — the entry point for callers that compose or
+// transform surfaces instead of sampling them (pose sweeps reuse the
+// receptor's and ligand's cached point sets, see surface.ComposePose).
+func NewProblemFromSurface(mol *molecule.Molecule, qpts []surface.QPoint) *Problem {
+	return newProblem(mol, qpts)
+}
+
+// prepareCilk is the Born half of the shared-memory engine: steps 1–4 of
+// Fig. 4 on one rank with a work-stealing pool. runCilkReal composes it
+// with (*Prepared).evalEpol, so the cold path and the cached path execute
+// identical code.
+func prepareCilk(pr *Problem, o Options) *Prepared {
+	bc := core.BornConfig{Eps: o.BornEps, CriterionPower: o.CriterionPower, LeafSize: o.LeafSize}
+	bs := core.NewBornSolver(pr.Mol, pr.QPts, bc)
+	pool := sched.NewPool(o.Threads)
+	n := pr.Mol.N()
+
+	p := &Prepared{Pr: pr, bs: bs, opts: o}
+	sNode, sAtom := bs.NewAccumulators()
+	if o.UseFlatKernels.enabled(true) {
+		list := bs.BuildBornDualList()
+		p.BornStats = list.Stats()
+		p.BornSched = evalBornListParallel(bs, list, pool, sNode, sAtom)
+	} else {
+		frontier := bs.DualFrontier(8 * o.Threads * o.Threads)
+		accN := make([][]float64, pool.Workers())
+		accA := make([][]float64, pool.Workers())
+		statsW := make([]core.Stats, pool.Workers())
+		p.BornSched = pool.ParallelFor(len(frontier), 1, func(w, lo, hi int) {
+			if accN[w] == nil {
+				accN[w], accA[w] = bs.NewAccumulators()
+			}
+			for i := lo; i < hi; i++ {
+				statsW[w].Add(bs.AccumulateDualPair(frontier[i][0], frontier[i][1], accN[w], accA[w]))
+			}
+		})
+		for w := range accN {
+			if accN[w] == nil {
+				continue
+			}
+			for i := range sNode {
+				sNode[i] += accN[w][i]
+			}
+			for i := range sAtom {
+				sAtom[i] += accA[w][i]
+			}
+			p.BornStats.Add(statsW[w])
+		}
+	}
+	rTree := make([]float64, n)
+	bs.PushIntegrals(sNode, sAtom, 0, int32(n), rTree)
+	p.BornRadii = bs.RadiiToOriginal(rTree)
+	return p
+}
+
+// EvalEpol evaluates the polarization energy (step 6) over the prebuilt
+// trees and Born radii. o supplies only the evaluation-time knobs —
+// EpolEps, Math, Threads, UseFlatKernels; the Born-phase fields are fixed
+// at Prepare time and ignored here. The returned report echoes the
+// prepared BornRadii/BornStats so warm and cold reports have the same
+// shape; Wall covers only this evaluation.
+//
+// A cold RunReal(OctCilk) and Prepare+EvalEpol with the same options
+// execute the same code path and produce bitwise-identical energies (see
+// TestPreparedMatchesCold).
+func (p *Prepared) EvalEpol(o Options) (RealReport, error) {
+	o = o.withDefaults(OctCilk)
+	if err := o.Validate(); err != nil {
+		return RealReport{}, err
+	}
+	start := time.Now()
+	rep := p.evalEpol(o)
+	rep.Wall = time.Since(start)
+	return rep, nil
+}
+
+// evalEpol is the E_pol half of the shared-memory engine (defaults already
+// resolved).
+func (p *Prepared) evalEpol(o Options) RealReport {
+	rep := RealReport{
+		BornRadii: p.BornRadii,
+		BornStats: p.BornStats,
+	}
+	es := core.NewEpolSolver(p.bs.TA, p.Pr.Charges, p.BornRadii, core.EpolConfig{Eps: o.EpolEps, Math: o.Math})
+	pool := sched.NewPool(o.Threads)
+	var raw float64
+	var s2 sched.Stats
+	if o.UseFlatKernels.enabled(true) {
+		list := es.BuildEpolDualList()
+		rep.EpolStats = list.Stats()
+		raw, s2 = evalEpolListParallel(es, list, pool)
+	} else {
+		ef := es.EpolDualFrontier(8 * o.Threads * o.Threads)
+		partial := make([]float64, pool.Workers())
+		estatsW := make([]core.Stats, pool.Workers())
+		s2 = pool.ParallelFor(len(ef), 1, func(w, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				e, st := es.EnergyDualPair(ef[i][0], ef[i][1])
+				partial[w] += e
+				estatsW[w].Add(st)
+			}
+		})
+		for w := range partial {
+			raw += partial[w]
+			rep.EpolStats.Add(estatsW[w])
+		}
+	}
+	rep.Energy = raw * core.EnergyScale()
+	rep.Sched = sched.Stats{
+		Executed:     p.BornSched.Executed + s2.Executed,
+		Steals:       p.BornSched.Steals + s2.Steals,
+		FailedSteals: p.BornSched.FailedSteals + s2.FailedSteals,
+	}
+	return rep
+}
+
+// Options returns the prepare-time options with defaults resolved —
+// callers use it to decide whether a cached Prepared is compatible with a
+// new request's Born-phase parameters.
+func (p *Prepared) Options() Options { return p.opts }
+
+// MemoryBytes estimates the resident size of the Prepared — the figure the
+// serving cache charges against its byte budget. It covers the dominant
+// allocations: both octrees, the per-point and per-node solver payloads,
+// the surface points, and the radii/charge vectors.
+func (p *Prepared) MemoryBytes() int64 {
+	const (
+		atomBytes  = 40 // 5 float64 per atom
+		qptBytes   = 56 // Pos + Normal + Weight
+		vec3Bytes  = 24
+		floatBytes = 8
+	)
+	n := int64(p.Pr.Mol.N())
+	q := int64(len(p.Pr.QPts))
+	nodesQ := int64(len(p.bs.TQ.Nodes))
+	size := p.bs.TA.MemoryBytes() + p.bs.TQ.MemoryBytes()
+	size += n * atomBytes                       // molecule atoms
+	size += q * qptBytes                        // surface points
+	size += q * (vec3Bytes + 3*floatBytes)      // wn + SoA mirrors
+	size += nodesQ * (vec3Bytes + 3*floatBytes) // nodeWN + SoA mirrors
+	size += n * 3 * floatBytes                  // radii, charges, atomR
+	return size
+}

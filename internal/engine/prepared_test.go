@@ -1,0 +1,171 @@
+package engine
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"octgb/internal/molecule"
+	"octgb/internal/surface"
+)
+
+// TestPreparedMatchesCold is the golden test of the Prepare/EvalEpol split:
+// re-evaluating a cached Prepared must reproduce the cold path to 1e-12
+// (in fact bitwise — both paths execute the same code), for both kernel
+// paths and several ε_E settings.
+func TestPreparedMatchesCold(t *testing.T) {
+	mol := molecule.GenerateProtein("golden", 900, 21)
+	for _, flat := range []Toggle{Auto, Off} {
+		for _, epolEps := range []float64{0.9, 0.5} {
+			o := Options{Threads: 2, EpolEps: epolEps, UseFlatKernels: flat}
+
+			cold, err := RunReal(NewProblem(mol, surface.Default()), OctCilk, o)
+			if err != nil {
+				t.Fatalf("cold run: %v", err)
+			}
+
+			p, err := Prepare(NewProblem(mol, surface.Default()), o)
+			if err != nil {
+				t.Fatalf("Prepare: %v", err)
+			}
+			warm, err := p.EvalEpol(o)
+			if err != nil {
+				t.Fatalf("EvalEpol: %v", err)
+			}
+
+			if rel := math.Abs(warm.Energy-cold.Energy) / math.Abs(cold.Energy); rel > 1e-12 {
+				t.Fatalf("flat=%v ε_E=%g: cached energy %.15g vs cold %.15g (rel %.2g > 1e-12)",
+					flat, epolEps, warm.Energy, cold.Energy, rel)
+			}
+			for i := range cold.BornRadii {
+				if math.Abs(warm.BornRadii[i]-cold.BornRadii[i]) > 1e-12*cold.BornRadii[i] {
+					t.Fatalf("Born radius %d differs: %g vs %g", i, warm.BornRadii[i], cold.BornRadii[i])
+				}
+			}
+			if warm.BornStats != cold.BornStats || warm.EpolStats != cold.EpolStats {
+				t.Fatalf("work counters differ between cached and cold paths")
+			}
+		}
+	}
+}
+
+// TestPreparedReEvalStable: evaluating the same Prepared repeatedly and
+// concurrently yields the same energy — the property that makes it safe
+// to share one cache entry across requests. With one thread the result is
+// bitwise stable; with a work-stealing pool the reduction order varies
+// run to run, so agreement there is last-ulp (1e-12 relative).
+func TestPreparedReEvalStable(t *testing.T) {
+	mol := molecule.GenerateProtein("stable", 600, 4)
+	p, err := Prepare(NewProblem(mol, surface.Default()), Options{Threads: 2})
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	first, err := p.EvalEpol(Options{Threads: 2})
+	if err != nil {
+		t.Fatalf("EvalEpol: %v", err)
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	energies := make([]float64, goroutines)
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rep, err := p.EvalEpol(Options{Threads: 2})
+			energies[g], errs[g] = rep.Energy, err
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatalf("concurrent EvalEpol %d: %v", g, errs[g])
+		}
+		if rel := math.Abs(energies[g]-first.Energy) / math.Abs(first.Energy); rel > 1e-12 {
+			t.Fatalf("concurrent EvalEpol %d: %.17g vs %.17g (rel %.2g)", g, energies[g], first.Energy, rel)
+		}
+	}
+
+	// Single-threaded evaluation has a fixed reduction order: bitwise.
+	p1, err := Prepare(NewProblem(mol, surface.Default()), Options{Threads: 1})
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	a, err := p1.EvalEpol(Options{Threads: 1})
+	if err != nil {
+		t.Fatalf("EvalEpol: %v", err)
+	}
+	b, err := p1.EvalEpol(Options{Threads: 1})
+	if err != nil {
+		t.Fatalf("EvalEpol: %v", err)
+	}
+	if a.Energy != b.Energy {
+		t.Fatalf("single-threaded re-eval not bitwise stable: %.17g vs %.17g", a.Energy, b.Energy)
+	}
+}
+
+// TestPreparedEpsSweep: one Prepare amortizes across evaluations with
+// different ε_E — each must match its own cold run.
+func TestPreparedEpsSweep(t *testing.T) {
+	mol := molecule.GenerateProtein("sweep", 500, 8)
+	p, err := Prepare(NewProblem(mol, surface.Default()), Options{Threads: 1, BornEps: 0.9})
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	for _, eps := range []float64{0.9, 0.7, 0.3} {
+		warm, err := p.EvalEpol(Options{Threads: 1, EpolEps: eps})
+		if err != nil {
+			t.Fatalf("EvalEpol ε=%g: %v", eps, err)
+		}
+		cold, err := RunReal(NewProblem(mol, surface.Default()), OctCilk, Options{Threads: 1, BornEps: 0.9, EpolEps: eps})
+		if err != nil {
+			t.Fatalf("cold ε=%g: %v", eps, err)
+		}
+		if rel := math.Abs(warm.Energy-cold.Energy) / math.Abs(cold.Energy); rel > 1e-12 {
+			t.Fatalf("ε=%g: cached %.15g vs cold %.15g", eps, warm.Energy, cold.Energy)
+		}
+	}
+}
+
+// TestNewProblemFromSurface: a problem assembled from an external point set
+// equals one sampled internally from the same molecule/options.
+func TestNewProblemFromSurface(t *testing.T) {
+	mol := molecule.GenerateProtein("ext", 400, 15)
+	qpts := surface.Sample(mol, surface.Default())
+	a := NewProblem(mol, surface.Default())
+	b := NewProblemFromSurface(mol, qpts)
+	if len(a.QPts) != len(b.QPts) || len(a.Charges) != len(b.Charges) {
+		t.Fatalf("problem shapes differ")
+	}
+	ra, err := RunReal(a, OctCilk, Options{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := RunReal(b, OctCilk, Options{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Energy != rb.Energy {
+		t.Fatalf("energy differs: %.15g vs %.15g", ra.Energy, rb.Energy)
+	}
+}
+
+// TestPreparedMemoryBytes: the cache charge estimate is positive and grows
+// with the molecule.
+func TestPreparedMemoryBytes(t *testing.T) {
+	small, err := Prepare(NewProblem(molecule.GenerateProtein("s", 200, 1), surface.Default()), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Prepare(NewProblem(molecule.GenerateProtein("l", 2000, 1), surface.Default()), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.MemoryBytes() <= 0 {
+		t.Fatalf("MemoryBytes = %d, want > 0", small.MemoryBytes())
+	}
+	if large.MemoryBytes() <= small.MemoryBytes() {
+		t.Fatalf("MemoryBytes does not grow with problem size: %d vs %d", large.MemoryBytes(), small.MemoryBytes())
+	}
+}

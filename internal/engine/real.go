@@ -183,81 +183,13 @@ func evalEpolListParallel(es *core.EpolSolver, list *core.InteractionList, pool 
 // runCilkReal executes the dual-tree algorithm with one rank and a
 // work-stealing pool: by default the two-phase flat path (dual interaction
 // lists + SoA kernels), or the recursive dual-tree frontier when
-// UseFlatKernels is Off.
+// UseFlatKernels is Off. It is the composition of the preprocessing half
+// (prepareCilk: trees + Born radii) and the evaluation half
+// ((*Prepared).evalEpol) — the same two halves the serving layer runs
+// separately around its prepared-problem cache, so the cold path and the
+// cached path are one code path (see prepared.go).
 func runCilkReal(pr *Problem, o Options) RealReport {
-	bc := core.BornConfig{Eps: o.BornEps, CriterionPower: o.CriterionPower, LeafSize: o.LeafSize}
-	bs := core.NewBornSolver(pr.Mol, pr.QPts, bc)
-	pool := sched.NewPool(o.Threads)
-	n := pr.Mol.N()
-	useFlat := o.UseFlatKernels.enabled(true)
-
-	var rep RealReport
-	var s1 sched.Stats
-	sNode, sAtom := bs.NewAccumulators()
-	if useFlat {
-		list := bs.BuildBornDualList()
-		rep.BornStats = list.Stats()
-		s1 = evalBornListParallel(bs, list, pool, sNode, sAtom)
-	} else {
-		frontier := bs.DualFrontier(8 * o.Threads * o.Threads)
-		accN := make([][]float64, pool.Workers())
-		accA := make([][]float64, pool.Workers())
-		statsW := make([]core.Stats, pool.Workers())
-		s1 = pool.ParallelFor(len(frontier), 1, func(w, lo, hi int) {
-			if accN[w] == nil {
-				accN[w], accA[w] = bs.NewAccumulators()
-			}
-			for i := lo; i < hi; i++ {
-				statsW[w].Add(bs.AccumulateDualPair(frontier[i][0], frontier[i][1], accN[w], accA[w]))
-			}
-		})
-		for w := range accN {
-			if accN[w] == nil {
-				continue
-			}
-			for i := range sNode {
-				sNode[i] += accN[w][i]
-			}
-			for i := range sAtom {
-				sAtom[i] += accA[w][i]
-			}
-			rep.BornStats.Add(statsW[w])
-		}
-	}
-	rTree := make([]float64, n)
-	bs.PushIntegrals(sNode, sAtom, 0, int32(n), rTree)
-	rep.BornRadii = bs.RadiiToOriginal(rTree)
-
-	es := core.NewEpolSolver(bs.TA, pr.Charges, rep.BornRadii, core.EpolConfig{Eps: o.EpolEps, Math: o.Math})
-	var raw float64
-	var s2 sched.Stats
-	if useFlat {
-		list := es.BuildEpolDualList()
-		rep.EpolStats = list.Stats()
-		raw, s2 = evalEpolListParallel(es, list, pool)
-	} else {
-		ef := es.EpolDualFrontier(8 * o.Threads * o.Threads)
-		partial := make([]float64, pool.Workers())
-		estatsW := make([]core.Stats, pool.Workers())
-		s2 = pool.ParallelFor(len(ef), 1, func(w, lo, hi int) {
-			for i := lo; i < hi; i++ {
-				e, st := es.EnergyDualPair(ef[i][0], ef[i][1])
-				partial[w] += e
-				estatsW[w].Add(st)
-			}
-		})
-		for w := range partial {
-			raw += partial[w]
-			rep.EpolStats.Add(estatsW[w])
-		}
-	}
-	rep.Energy = raw * core.EnergyScale()
-	rep.Sched = sched.Stats{
-		Executed:     s1.Executed + s2.Executed,
-		Steals:       s1.Steals + s2.Steals,
-		FailedSteals: s1.FailedSteals + s2.FailedSteals,
-	}
-	return rep
+	return prepareCilk(pr, o).evalEpol(o)
 }
 
 // RunRank executes one rank of the Fig. 4 algorithm over an arbitrary

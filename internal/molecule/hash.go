@@ -1,0 +1,54 @@
+package molecule
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+)
+
+// HashSize is the size of a molecule content hash in bytes.
+const HashSize = sha256.Size
+
+// Hash returns a deterministic content hash of the molecule: the atoms are
+// encoded in order as five little-endian IEEE-754 float64 words each
+// (x, y, z, radius, charge — 40 bytes per atom) and the byte stream is
+// digested with SHA-256. The name is deliberately excluded: two molecules
+// with identical atoms are the same problem regardless of label, which is
+// exactly the identity the serving layer's prepared-problem cache needs.
+//
+// The hash is order-sensitive by design. Atom order determines octree
+// construction and floating-point summation order, so a permuted molecule
+// is a different cacheable problem even though its physics is the same;
+// canonicalizing the order here would let a cache hit return bitwise
+// different energies than a cold run of the caller's molecule.
+//
+// The encoding is over raw float bits, so +0/-0 and NaN payloads are
+// distinguished; Validate rejects NaN charges and non-finite positions, so
+// validated molecules never collide on such artifacts.
+//
+// Hash performs a constant number of heap allocations regardless of atom
+// count (see TestHashAllocationBounded).
+func (m *Molecule) Hash() [HashSize]byte {
+	h := sha256.New()
+	var buf [40]byte
+	for i := range m.Atoms {
+		a := &m.Atoms[i]
+		binary.LittleEndian.PutUint64(buf[0:8], math.Float64bits(a.Pos.X))
+		binary.LittleEndian.PutUint64(buf[8:16], math.Float64bits(a.Pos.Y))
+		binary.LittleEndian.PutUint64(buf[16:24], math.Float64bits(a.Pos.Z))
+		binary.LittleEndian.PutUint64(buf[24:32], math.Float64bits(a.Radius))
+		binary.LittleEndian.PutUint64(buf[32:40], math.Float64bits(a.Charge))
+		h.Write(buf[:])
+	}
+	var out [HashSize]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// HashString returns Hash as lowercase hex — the form used in cache keys
+// and request logs.
+func (m *Molecule) HashString() string {
+	sum := m.Hash()
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,108 @@
+package molecule
+
+import (
+	"strings"
+	"testing"
+
+	"octgb/internal/geom"
+)
+
+// TestHashDeterministic proves the hash is a pure function of the atom
+// sequence: regenerating the same molecule (fresh allocations, same seed)
+// and round-tripping it through the PQR text format both preserve it.
+func TestHashDeterministic(t *testing.T) {
+	a := GenerateProtein("a", 500, 7)
+	b := GenerateProtein("completely-different-name", 500, 7)
+	if a.Hash() != b.Hash() {
+		t.Fatalf("hash differs across regeneration / name change")
+	}
+	if a.HashString() != b.HashString() {
+		t.Fatalf("HashString differs across regeneration")
+	}
+	if len(a.HashString()) != 2*HashSize {
+		t.Fatalf("HashString length = %d, want %d", len(a.HashString()), 2*HashSize)
+	}
+}
+
+// TestHashOrderStable proves hashing is stable under repeated calls on the
+// same value and sensitive to atom order and to every atom field: the hash
+// is a canonical encoding of the sequence, not of the multiset.
+func TestHashOrderStable(t *testing.T) {
+	m := GenerateProtein("m", 64, 3)
+	h0 := m.Hash()
+	for i := 0; i < 10; i++ {
+		if m.Hash() != h0 {
+			t.Fatalf("hash changed on repeated call %d", i)
+		}
+	}
+
+	// Swapping two atoms changes the hash (order-sensitive identity).
+	sw := &Molecule{Name: m.Name, Atoms: append([]Atom(nil), m.Atoms...)}
+	sw.Atoms[0], sw.Atoms[1] = sw.Atoms[1], sw.Atoms[0]
+	if sw.Hash() == h0 {
+		t.Fatalf("hash unchanged after atom swap")
+	}
+
+	// Every field participates.
+	for name, mutate := range map[string]func(*Atom){
+		"x":      func(a *Atom) { a.Pos.X += 1e-9 },
+		"y":      func(a *Atom) { a.Pos.Y += 1e-9 },
+		"z":      func(a *Atom) { a.Pos.Z += 1e-9 },
+		"radius": func(a *Atom) { a.Radius += 1e-9 },
+		"charge": func(a *Atom) { a.Charge += 1e-9 },
+	} {
+		mut := &Molecule{Name: m.Name, Atoms: append([]Atom(nil), m.Atoms...)}
+		mutate(&mut.Atoms[17])
+		if mut.Hash() == h0 {
+			t.Fatalf("hash unchanged after %s perturbation", name)
+		}
+	}
+
+	// Appending an atom changes it (length is encoded by the stream).
+	grown := &Molecule{Atoms: append(append([]Atom(nil), m.Atoms...), Atom{Pos: geom.V(1, 2, 3), Radius: 1})}
+	if grown.Hash() == h0 {
+		t.Fatalf("hash unchanged after append")
+	}
+}
+
+// TestHashPQRRoundTrip: the PQR text format quantizes coordinates
+// (%8.3f), so one round trip may change the hash — but a quantized
+// molecule must re-serialize bit-stably, i.e. the hash is a fixed point
+// from the first round trip on. This is the property the serving layer
+// relies on when clients persist and re-upload molecules: re-uploading the
+// same file always lands on the same cache entry.
+func TestHashPQRRoundTrip(t *testing.T) {
+	m := GenerateProtein("rt", 200, 11)
+	roundTrip := func(in *Molecule) *Molecule {
+		var buf strings.Builder
+		if err := WritePQR(&buf, in); err != nil {
+			t.Fatalf("WritePQR: %v", err)
+		}
+		out, err := ReadPQR(strings.NewReader(buf.String()), in.Name)
+		if err != nil {
+			t.Fatalf("ReadPQR: %v", err)
+		}
+		return out
+	}
+	once := roundTrip(m)
+	twice := roundTrip(once)
+	if once.Hash() != twice.Hash() {
+		t.Fatalf("hash not a fixed point of the PQR round trip")
+	}
+}
+
+// TestHashAllocationBounded proves Hash allocates a constant independent of
+// molecule size: the per-atom encoding reuses one stack buffer and the
+// digest is written into a stack output array.
+func TestHashAllocationBounded(t *testing.T) {
+	small := GenerateProtein("s", 50, 1)
+	large := GenerateProtein("l", 5000, 1)
+	allocsSmall := testing.AllocsPerRun(20, func() { small.Hash() })
+	allocsLarge := testing.AllocsPerRun(20, func() { large.Hash() })
+	if allocsLarge > allocsSmall {
+		t.Fatalf("Hash allocations grow with molecule size: %v (50 atoms) vs %v (5000 atoms)", allocsSmall, allocsLarge)
+	}
+	if allocsLarge > 4 {
+		t.Fatalf("Hash allocates %v times per call, want a small constant", allocsLarge)
+	}
+}

@@ -1,0 +1,227 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"octgb/internal/engine"
+	"octgb/internal/geom"
+	"octgb/internal/molecule"
+	"octgb/internal/surface"
+)
+
+// sweepWaiter is one /v1/sweep request parked in a pending batch.
+type sweepWaiter struct {
+	ctx      context.Context
+	reqID    string
+	poses    []geom.Rigid
+	queuedAt time.Time
+	out      chan sweepOutcome // buffered; the batch runner never blocks on it
+}
+
+// sweepOutcome is one waiter's share of a batch run.
+type sweepOutcome struct {
+	energies      []float64
+	deltas        []float64
+	eRec, eLig    float64
+	cache         string
+	batchRequests int
+	batchPoses    int
+	startedAt     time.Time
+	surfaceMS     float64
+	prepareMS     float64
+	evalMS        float64
+	err           error
+}
+
+// pendingSweep is a batch being coalesced: every waiter shares the same
+// receptor/ligand content and options (the batch key guarantees it), so
+// the receptor and ligand are prepared once and each pose only pays for
+// its own complex.
+type pendingSweep struct {
+	key     string
+	rec     *molecule.Molecule // nil for receptor-free sweeps
+	lig     *molecule.Molecule
+	opts    evalOpts
+	exact   bool
+	waiters []*sweepWaiter
+}
+
+// sweepKey identifies a coalescible batch: both molecules' content hashes
+// plus every parameter that shapes the evaluation.
+func sweepKey(rec, lig *molecule.Molecule, o evalOpts, exact bool) string {
+	recHash := "-"
+	if rec != nil {
+		recHash = rec.HashString()
+	}
+	return fmt.Sprintf("%s|%s|b%g|e%g|a%v|s%d|d%d|r%g|x%v",
+		recHash, lig.HashString(), o.bornEps, o.epolEps, o.approx,
+		o.surf.SubdivLevel, o.surf.Degree, o.surf.RadiusScale, exact)
+}
+
+// enqueueSweep parks the waiter on the batch for its key, opening the
+// batch (and arming its flush timer) if it is the first arrival.
+func (s *Server) enqueueSweep(rec, lig *molecule.Molecule, o evalOpts, exact bool, wt *sweepWaiter) {
+	key := sweepKey(rec, lig, o, exact)
+	s.pendingMu.Lock()
+	b, ok := s.pending[key]
+	if !ok {
+		b = &pendingSweep{key: key, rec: rec, lig: lig, opts: o, exact: exact}
+		s.pending[key] = b
+		time.AfterFunc(s.cfg.BatchWindow, func() { s.flushSweep(key) })
+	}
+	b.waiters = append(b.waiters, wt)
+	s.pendingMu.Unlock()
+}
+
+// flushSweep closes the batch window for key and hands the batch to the
+// worker pool. Its requests were already admitted, so a full queue blocks
+// the flush goroutine rather than rejecting; if the server stopped in the
+// meantime every waiter is failed (their handlers are gone by then anyway
+// — Shutdown drains handlers before stopping workers).
+func (s *Server) flushSweep(key string) {
+	s.pendingMu.Lock()
+	b := s.pending[key]
+	delete(s.pending, key)
+	s.pendingMu.Unlock()
+	if b == nil {
+		return
+	}
+	if !s.submitBatch(func() { s.runSweep(b) }) {
+		for _, wt := range b.waiters {
+			wt.out <- sweepOutcome{err: errDraining}
+		}
+	}
+}
+
+// runSweep executes one coalesced batch on a worker: prepare the receptor
+// and ligand through the cache once, evaluate their isolated energies
+// once, then score every waiter's poses. By default each pose's complex
+// surface is composed from the cached parts (surface.ComposePose); the
+// octrees and Born radii of the complex are rebuilt per pose because they
+// depend on the merged geometry.
+func (s *Server) runSweep(b *pendingSweep) {
+	started := time.Now()
+	totalPoses := 0
+	for _, wt := range b.waiters {
+		totalPoses += len(wt.poses)
+	}
+	s.metrics.batchesRun.Add(1)
+	s.metrics.batchedRequests.Add(int64(len(b.waiters)))
+	s.metrics.batchedPoses.Add(int64(totalPoses))
+
+	fail := func(err error) {
+		for _, wt := range b.waiters {
+			wt.out <- sweepOutcome{err: err, startedAt: started}
+		}
+	}
+
+	// Shared preprocessing: ligand (always) and receptor (if present)
+	// through the prepared cache, plus their isolated energies for deltas.
+	eo := s.engineOpts(b.opts)
+	ligB, ligSrc, err := s.cache.get(cacheKey(b.lig, b.opts), func() (*built, error) {
+		return s.buildPrepared(b.lig, b.opts)
+	})
+	if err != nil {
+		fail(fmt.Errorf("prepare ligand: %w", err))
+		return
+	}
+	ligRep, err := ligB.prep.EvalEpol(eo)
+	if err != nil {
+		fail(fmt.Errorf("ligand energy: %w", err))
+		return
+	}
+	cache := "ligand:" + string(ligSrc)
+	var recB *built
+	var eRec float64
+	if b.rec != nil {
+		var recSrc cacheSource
+		recB, recSrc, err = s.cache.get(cacheKey(b.rec, b.opts), func() (*built, error) {
+			return s.buildPrepared(b.rec, b.opts)
+		})
+		if err != nil {
+			fail(fmt.Errorf("prepare receptor: %w", err))
+			return
+		}
+		recRep, err := recB.prep.EvalEpol(eo)
+		if err != nil {
+			fail(fmt.Errorf("receptor energy: %w", err))
+			return
+		}
+		eRec = recRep.Energy
+		cache = "receptor:" + string(recSrc) + " " + cache
+	}
+
+	for _, wt := range b.waiters {
+		out := sweepOutcome{
+			eRec:          eRec,
+			eLig:          ligRep.Energy,
+			cache:         cache,
+			batchRequests: len(b.waiters),
+			batchPoses:    totalPoses,
+			startedAt:     started,
+		}
+		out.energies = make([]float64, 0, len(wt.poses))
+		if b.rec != nil {
+			out.deltas = make([]float64, 0, len(wt.poses))
+		}
+		for _, pose := range wt.poses {
+			if wt.ctx.Err() != nil {
+				s.metrics.canceled.Add(1)
+				out.err = wt.ctx.Err()
+				break
+			}
+			e, tm, err := s.evalPose(b, recB, ligB, pose)
+			if err != nil {
+				out.err = err
+				break
+			}
+			out.surfaceMS += tm.SurfaceMS
+			out.prepareMS += tm.PrepareMS
+			out.evalMS += tm.EvalMS
+			out.energies = append(out.energies, e)
+			if b.rec != nil {
+				out.deltas = append(out.deltas, e-eRec-ligRep.Energy)
+			}
+		}
+		wt.out <- out
+	}
+}
+
+// evalPose scores one pose: assemble the complex (composed or re-sampled
+// surface), run the Born phase, evaluate E_pol.
+func (s *Server) evalPose(b *pendingSweep, recB, ligB *built, pose geom.Rigid) (float64, TimingsJSON, error) {
+	var tm TimingsJSON
+	var pr *engine.Problem
+	t0 := time.Now()
+	switch {
+	case b.rec == nil:
+		pr = engine.NewProblem(b.lig.Transform(pose), b.opts.surf)
+	case b.exact:
+		cx := molecule.Merge("complex", b.rec, b.lig.Transform(pose))
+		pr = engine.NewProblem(cx, b.opts.surf)
+	default:
+		cx, qpts := surface.ComposePose("complex", b.rec, recB.prep.Pr.QPts, b.lig, ligB.prep.Pr.QPts, pose, b.opts.surf)
+		pr = engine.NewProblemFromSurface(cx, qpts)
+	}
+	t1 := time.Now()
+	p, err := engine.Prepare(pr, s.engineOpts(b.opts))
+	if err != nil {
+		return 0, tm, err
+	}
+	t2 := time.Now()
+	rep, err := p.EvalEpol(s.engineOpts(b.opts))
+	if err != nil {
+		return 0, tm, err
+	}
+	t3 := time.Now()
+	tm.SurfaceMS = msBetween(t0, t1)
+	tm.PrepareMS = msBetween(t1, t2)
+	tm.EvalMS = msBetween(t2, t3)
+	s.metrics.surfaceNS.Add(t1.Sub(t0).Nanoseconds())
+	s.metrics.prepareNS.Add(t2.Sub(t1).Nanoseconds())
+	s.metrics.evalNS.Add(t3.Sub(t2).Nanoseconds())
+	s.metrics.evals.Add(1)
+	return rep.Energy, tm, nil
+}

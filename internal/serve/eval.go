@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"context"
+	"time"
+
+	"octgb/internal/engine"
+	"octgb/internal/gb"
+	"octgb/internal/molecule"
+)
+
+// energyOutcome is one /v1/energy evaluation's result, produced on a
+// worker and consumed by the waiting handler.
+type energyOutcome struct {
+	energy    float64
+	bornRadii []float64
+	src       cacheSource
+	engine    string
+	startedAt time.Time
+	surfaceMS float64
+	prepareMS float64
+	evalMS    float64
+	err       error
+}
+
+// engineOpts maps resolved request options onto the engine layer.
+func (s *Server) engineOpts(o evalOpts) engine.Options {
+	eo := engine.Options{
+		Threads: s.cfg.Threads,
+		BornEps: o.bornEps,
+		EpolEps: o.epolEps,
+	}
+	if o.approx {
+		eo.Math = gb.Approximate
+	}
+	return eo
+}
+
+// buildPrepared is the cache-miss path: sample the surface, build the
+// trees, run the Born phase. Stage timings are recorded globally and on
+// the entry (cold responses echo them).
+func (s *Server) buildPrepared(mol *molecule.Molecule, o evalOpts) (*built, error) {
+	t0 := time.Now()
+	pr := engine.NewProblem(mol, o.surf)
+	t1 := time.Now()
+	p, err := engine.Prepare(pr, s.engineOpts(o))
+	if err != nil {
+		return nil, err
+	}
+	t2 := time.Now()
+	b := &built{
+		prep:      p,
+		surfaceNS: t1.Sub(t0).Nanoseconds(),
+		prepareNS: t2.Sub(t1).Nanoseconds(),
+	}
+	s.metrics.surfaceNS.Add(b.surfaceNS)
+	s.metrics.prepareNS.Add(b.prepareNS)
+	return b, nil
+}
+
+// evalEnergy runs on a worker: prepared-problem lookup (singleflight
+// build on miss) followed by the E_pol evaluation. Work whose deadline
+// already passed while queued is abandoned before any computation.
+func (s *Server) evalEnergy(ctx context.Context, mol *molecule.Molecule, o evalOpts) energyOutcome {
+	out := energyOutcome{startedAt: time.Now()}
+	if ctx.Err() != nil {
+		s.metrics.canceled.Add(1)
+		out.err = ctx.Err()
+		return out
+	}
+	b, src, err := s.cache.get(cacheKey(mol, o), func() (*built, error) {
+		return s.buildPrepared(mol, o)
+	})
+	if err != nil {
+		out.err = err
+		return out
+	}
+	out.src = src
+	if src == sourceBuild {
+		out.surfaceMS = float64(b.surfaceNS) / 1e6
+		out.prepareMS = float64(b.prepareNS) / 1e6
+	}
+
+	eo := s.engineOpts(o)
+	t0 := time.Now()
+	if s.cfg.Ranks > 1 && src == sourceBuild {
+		// Ranks deployments evaluate cold requests with the hybrid engine
+		// (the configuration that fronts a cmd/epolnode mesh). The entry
+		// just built still serves warm requests through the prepared path;
+		// the two agree to ~1e-12.
+		eo.Ranks = s.cfg.Ranks
+		rep, err := engine.RunReal(b.prep.Pr, engine.OctMPICilk, eo)
+		if err != nil {
+			out.err = err
+			return out
+		}
+		out.energy, out.bornRadii = rep.Energy, rep.BornRadii
+		out.engine = engine.OctMPICilk.String()
+	} else {
+		rep, err := b.prep.EvalEpol(eo)
+		if err != nil {
+			out.err = err
+			return out
+		}
+		out.energy, out.bornRadii = rep.Energy, rep.BornRadii
+		out.engine = engine.OctCilk.String()
+	}
+	evalNS := time.Since(t0).Nanoseconds()
+	out.evalMS = float64(evalNS) / 1e6
+	s.metrics.evalNS.Add(evalNS)
+	s.metrics.evals.Add(1)
+	return out
+}

@@ -1,0 +1,456 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"octgb/internal/geom"
+	"octgb/internal/molecule"
+	"octgb/internal/surface"
+)
+
+// MoleculeJSON is the wire form of a molecule: each atom is the 5-tuple
+// [x, y, z, radius, charge] (Å, Å, elementary charges).
+type MoleculeJSON struct {
+	Name  string       `json:"name,omitempty"`
+	Atoms [][5]float64 `json:"atoms"`
+}
+
+// FromMolecule converts to the wire form (used by clients and benches).
+func FromMolecule(m *molecule.Molecule) MoleculeJSON {
+	mj := MoleculeJSON{Name: m.Name, Atoms: make([][5]float64, m.N())}
+	for i, a := range m.Atoms {
+		mj.Atoms[i] = [5]float64{a.Pos.X, a.Pos.Y, a.Pos.Z, a.Radius, a.Charge}
+	}
+	return mj
+}
+
+// ToMolecule converts from the wire form and validates it.
+func (mj *MoleculeJSON) ToMolecule() (*molecule.Molecule, error) {
+	if len(mj.Atoms) == 0 {
+		return nil, fmt.Errorf("empty molecule")
+	}
+	m := &molecule.Molecule{Name: mj.Name, Atoms: make([]molecule.Atom, len(mj.Atoms))}
+	for i, a := range mj.Atoms {
+		m.Atoms[i] = molecule.Atom{Pos: geom.V(a[0], a[1], a[2]), Radius: a[3], Charge: a[4]}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// PoseJSON is a rigid transform: optional row-major 3×3 rotation (identity
+// when omitted) followed by a translation.
+type PoseJSON struct {
+	Rot *[9]float64 `json:"rot,omitempty"`
+	T   [3]float64  `json:"t"`
+}
+
+// ToRigid converts to the geometry type.
+func (p PoseJSON) ToRigid() geom.Rigid {
+	r := geom.Identity()
+	if p.Rot != nil {
+		r.R = [3][3]float64{
+			{p.Rot[0], p.Rot[1], p.Rot[2]},
+			{p.Rot[3], p.Rot[4], p.Rot[5]},
+			{p.Rot[6], p.Rot[7], p.Rot[8]},
+		}
+	}
+	r.T = geom.V(p.T[0], p.T[1], p.T[2])
+	return r
+}
+
+// FromRigid converts a transform to the wire form.
+func FromRigid(r geom.Rigid) PoseJSON {
+	return PoseJSON{
+		Rot: &[9]float64{
+			r.R[0][0], r.R[0][1], r.R[0][2],
+			r.R[1][0], r.R[1][1], r.R[1][2],
+			r.R[2][0], r.R[2][1], r.R[2][2],
+		},
+		T: [3]float64{r.T.X, r.T.Y, r.T.Z},
+	}
+}
+
+// OptionsJSON are the per-request evaluation parameters; zero fields fall
+// back to the server's configured defaults.
+type OptionsJSON struct {
+	BornEps         float64 `json:"born_eps,omitempty"`
+	EpolEps         float64 `json:"epol_eps,omitempty"`
+	ApproximateMath bool    `json:"approximate_math,omitempty"`
+	SubdivLevel     int     `json:"subdiv_level,omitempty"`
+	Degree          int     `json:"degree,omitempty"`
+}
+
+// EnergyRequest is the POST /v1/energy payload.
+type EnergyRequest struct {
+	Molecule MoleculeJSON `json:"molecule"`
+	Options  *OptionsJSON `json:"options,omitempty"`
+	// DeadlineMS bounds queue wait + evaluation; 0 uses the server default.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// IncludeRadii returns the per-atom Born radii too.
+	IncludeRadii bool `json:"include_radii,omitempty"`
+}
+
+// TimingsJSON is a per-request stage breakdown in milliseconds. Stages a
+// cache hit skipped report 0.
+type TimingsJSON struct {
+	QueueMS   float64 `json:"queue_ms"`
+	SurfaceMS float64 `json:"surface_ms"`
+	PrepareMS float64 `json:"prepare_ms"`
+	EvalMS    float64 `json:"eval_ms"`
+}
+
+// EnergyResponse is the POST /v1/energy result.
+type EnergyResponse struct {
+	RequestID string    `json:"request_id"`
+	Name      string    `json:"name,omitempty"`
+	Atoms     int       `json:"atoms"`
+	Energy    float64   `json:"energy"` // kcal/mol
+	BornRadii []float64 `json:"born_radii,omitempty"`
+	// Cache is "hit", "miss" (this request built the entry) or "coalesced"
+	// (another in-flight request built it; this one waited).
+	Cache   string      `json:"cache"`
+	Engine  string      `json:"engine"`
+	Timings TimingsJSON `json:"timings"`
+}
+
+// SweepRequest is the POST /v1/sweep payload: a rigid-body pose sweep of a
+// ligand, optionally against a fixed receptor. Requests with the same
+// receptor, ligand and options arriving within the server's batch window
+// are coalesced into one engine run.
+type SweepRequest struct {
+	// Receptor, when present, is merged with the posed ligand per pose and
+	// per-pose binding deltas are returned.
+	Receptor *MoleculeJSON `json:"receptor,omitempty"`
+	Ligand   MoleculeJSON  `json:"ligand"`
+	Poses    []PoseJSON    `json:"poses"`
+	Options  *OptionsJSON  `json:"options,omitempty"`
+	// ExactSurface forces re-sampling each pose's complex surface from
+	// scratch. The default composes it from the cached receptor and ligand
+	// surfaces (surface.ComposePose) — exact for translations, equivalent
+	// at the quadrature-discretization level under rotation.
+	ExactSurface bool  `json:"exact_surface,omitempty"`
+	DeadlineMS   int64 `json:"deadline_ms,omitempty"`
+}
+
+// SweepResponse is the POST /v1/sweep result. Energies[i] is the complex
+// energy at pose i; with a receptor, Deltas[i] = Energies[i] −
+// ReceptorEnergy − LigandEnergy is the polarization part of the binding
+// energy.
+type SweepResponse struct {
+	RequestID      string    `json:"request_id"`
+	Poses          int       `json:"poses"`
+	Energies       []float64 `json:"energies"`
+	Deltas         []float64 `json:"deltas,omitempty"`
+	ReceptorEnergy float64   `json:"receptor_energy,omitempty"`
+	LigandEnergy   float64   `json:"ligand_energy"`
+	// BatchRequests / BatchPoses describe the coalesced engine run this
+	// request rode in.
+	BatchRequests int         `json:"batch_requests"`
+	BatchPoses    int         `json:"batch_poses"`
+	Cache         string      `json:"cache"`
+	Timings       TimingsJSON `json:"timings"`
+}
+
+// ErrorResponse is every non-2xx payload. Error is a stable machine token:
+// bad_request, too_large, queue_full, draining, deadline_exceeded,
+// eval_failed, method_not_allowed.
+type ErrorResponse struct {
+	RequestID    string `json:"request_id"`
+	Error        string `json:"error"`
+	Detail       string `json:"detail,omitempty"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}
+
+// maxBodyBytes bounds request decoding (a 200k-atom molecule is ~20 MB of
+// JSON; leave generous headroom).
+const maxBodyBytes = 256 << 20
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, reqID, token, detail string, retryAfter time.Duration) {
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(retryAfter.Seconds()+1)))
+	}
+	writeJSON(w, status, ErrorResponse{
+		RequestID:    reqID,
+		Error:        token,
+		Detail:       detail,
+		RetryAfterMS: retryAfter.Milliseconds(),
+	})
+}
+
+// retryAfterHint estimates how long a rejected client should back off:
+// the queue depth times the observed mean evaluation time (250ms floor
+// before any evaluation has completed).
+func (s *Server) retryAfterHint() time.Duration {
+	mean := 250 * time.Millisecond
+	if n := s.metrics.evals.Load(); n > 0 {
+		mean = time.Duration(s.metrics.evalNS.Load() / n)
+		if mean < 50*time.Millisecond {
+			mean = 50 * time.Millisecond
+		}
+	}
+	return time.Duration(len(s.queue)/s.cfg.Workers+1) * mean
+}
+
+func (s *Server) deadlineFor(ms int64) time.Duration {
+	if ms > 0 {
+		return time.Duration(ms) * time.Millisecond
+	}
+	return s.cfg.DefaultDeadline
+}
+
+func (s *Server) handleEnergy(w http.ResponseWriter, r *http.Request) {
+	reqID := s.nextReqID()
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, reqID, "method_not_allowed", "POST required", 0)
+		return
+	}
+	s.metrics.energyRequests.Add(1)
+
+	var req EnergyRequest
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, reqID, "bad_request", err.Error(), 0)
+		return
+	}
+	mol, err := req.Molecule.ToMolecule()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, reqID, "bad_request", err.Error(), 0)
+		return
+	}
+	if mol.N() > s.cfg.MaxAtoms {
+		writeError(w, http.StatusRequestEntityTooLarge, reqID, "too_large",
+			fmt.Sprintf("%d atoms exceeds limit %d", mol.N(), s.cfg.MaxAtoms), 0)
+		return
+	}
+	opts := s.resolveOpts(req.Options)
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.deadlineFor(req.DeadlineMS))
+	defer cancel()
+	queued := time.Now()
+	outCh := make(chan energyOutcome, 1)
+	if err := s.submit(func() { outCh <- s.evalEnergy(ctx, mol, opts) }); err != nil {
+		s.admissionError(w, reqID, err)
+		return
+	}
+	select {
+	case out := <-outCh:
+		if out.err != nil {
+			s.metrics.failed.Add(1)
+			writeError(w, http.StatusInternalServerError, reqID, "eval_failed", out.err.Error(), 0)
+			return
+		}
+		s.metrics.completed.Add(1)
+		resp := EnergyResponse{
+			RequestID: reqID,
+			Name:      mol.Name,
+			Atoms:     mol.N(),
+			Energy:    out.energy,
+			Cache:     string(out.src),
+			Engine:    out.engine,
+			Timings: TimingsJSON{
+				QueueMS:   msBetween(queued, out.startedAt),
+				SurfaceMS: out.surfaceMS,
+				PrepareMS: out.prepareMS,
+				EvalMS:    out.evalMS,
+			},
+		}
+		if req.IncludeRadii {
+			resp.BornRadii = out.bornRadii
+		}
+		s.logf("serve: %s energy %s atoms=%d cache=%s E=%.6g (%s)", reqID, mol.Name, mol.N(), out.src, out.energy, out.engine)
+		writeJSON(w, http.StatusOK, resp)
+	case <-ctx.Done():
+		s.metrics.deadlineMisses.Add(1)
+		writeError(w, http.StatusGatewayTimeout, reqID, "deadline_exceeded",
+			"request deadline elapsed before evaluation completed", s.retryAfterHint())
+	}
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	reqID := s.nextReqID()
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, reqID, "method_not_allowed", "POST required", 0)
+		return
+	}
+	s.metrics.sweepRequests.Add(1)
+
+	var req SweepRequest
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, reqID, "bad_request", err.Error(), 0)
+		return
+	}
+	lig, err := req.Ligand.ToMolecule()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, reqID, "bad_request", "ligand: "+err.Error(), 0)
+		return
+	}
+	var rec *molecule.Molecule
+	if req.Receptor != nil {
+		if rec, err = req.Receptor.ToMolecule(); err != nil {
+			writeError(w, http.StatusBadRequest, reqID, "bad_request", "receptor: "+err.Error(), 0)
+			return
+		}
+	}
+	if len(req.Poses) == 0 {
+		writeError(w, http.StatusBadRequest, reqID, "bad_request", "no poses", 0)
+		return
+	}
+	atoms := lig.N()
+	if rec != nil {
+		atoms += rec.N()
+	}
+	if atoms > s.cfg.MaxAtoms {
+		writeError(w, http.StatusRequestEntityTooLarge, reqID, "too_large",
+			fmt.Sprintf("%d atoms exceeds limit %d", atoms, s.cfg.MaxAtoms), 0)
+		return
+	}
+	// Admission: a sweep occupies a queue slot once its batch flushes;
+	// reject up front when the queue is already saturated.
+	if s.draining.Load() {
+		s.admissionError(w, reqID, errDraining)
+		return
+	}
+	if len(s.queue) >= cap(s.queue) {
+		s.metrics.rejectedQueueFull.Add(1)
+		s.admissionError(w, reqID, errQueueFull)
+		return
+	}
+	opts := s.resolveOpts(req.Options)
+	poses := make([]geom.Rigid, len(req.Poses))
+	for i, p := range req.Poses {
+		poses[i] = p.ToRigid()
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.deadlineFor(req.DeadlineMS))
+	defer cancel()
+	wt := &sweepWaiter{
+		ctx:      ctx,
+		reqID:    reqID,
+		poses:    poses,
+		queuedAt: time.Now(),
+		out:      make(chan sweepOutcome, 1),
+	}
+	s.enqueueSweep(rec, lig, opts, req.ExactSurface, wt)
+
+	select {
+	case out := <-wt.out:
+		if out.err != nil {
+			s.metrics.failed.Add(1)
+			writeError(w, http.StatusInternalServerError, reqID, "eval_failed", out.err.Error(), 0)
+			return
+		}
+		s.metrics.completed.Add(1)
+		resp := SweepResponse{
+			RequestID:      reqID,
+			Poses:          len(out.energies),
+			Energies:       out.energies,
+			Deltas:         out.deltas,
+			ReceptorEnergy: out.eRec,
+			LigandEnergy:   out.eLig,
+			BatchRequests:  out.batchRequests,
+			BatchPoses:     out.batchPoses,
+			Cache:          out.cache,
+			Timings: TimingsJSON{
+				QueueMS:   msBetween(wt.queuedAt, out.startedAt),
+				SurfaceMS: out.surfaceMS,
+				PrepareMS: out.prepareMS,
+				EvalMS:    out.evalMS,
+			},
+		}
+		s.logf("serve: %s sweep poses=%d batch=%d/%d cache=%s", reqID, len(out.energies), out.batchRequests, out.batchPoses, out.cache)
+		writeJSON(w, http.StatusOK, resp)
+	case <-ctx.Done():
+		s.metrics.deadlineMisses.Add(1)
+		writeError(w, http.StatusGatewayTimeout, reqID, "deadline_exceeded",
+			"request deadline elapsed before the sweep completed", s.retryAfterHint())
+	}
+}
+
+func (s *Server) admissionError(w http.ResponseWriter, reqID string, err error) {
+	switch err {
+	case errQueueFull:
+		writeError(w, http.StatusTooManyRequests, reqID, "queue_full",
+			"submission queue is full", s.retryAfterHint())
+	case errDraining:
+		writeError(w, http.StatusServiceUnavailable, reqID, "draining",
+			"server is shutting down", 0)
+	default:
+		writeError(w, http.StatusInternalServerError, reqID, "eval_failed", err.Error(), 0)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := http.StatusOK
+	state := "ok"
+	if s.draining.Load() {
+		status = http.StatusServiceUnavailable
+		state = "draining"
+	}
+	writeJSON(w, status, map[string]any{"status": state})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.snapshot())
+}
+
+// resolveOpts folds request overrides over the server defaults.
+func (s *Server) resolveOpts(o *OptionsJSON) evalOpts {
+	e := evalOpts{
+		bornEps: s.cfg.BornEps,
+		epolEps: s.cfg.EpolEps,
+		surf:    s.cfg.Surface,
+	}
+	if o != nil {
+		if o.BornEps > 0 {
+			e.bornEps = o.BornEps
+		}
+		if o.EpolEps > 0 {
+			e.epolEps = o.EpolEps
+		}
+		e.approx = o.ApproximateMath
+		if o.SubdivLevel > 0 {
+			e.surf.SubdivLevel = o.SubdivLevel
+		}
+		if o.Degree > 0 {
+			e.surf.Degree = o.Degree
+		}
+	}
+	return e
+}
+
+// evalOpts are the resolved per-request evaluation parameters. The
+// Born-phase subset (bornEps + surface options) keys the prepared cache;
+// epolEps and approx apply at evaluation time only.
+type evalOpts struct {
+	bornEps float64
+	epolEps float64
+	approx  bool
+	surf    surface.Options
+}
+
+// cacheKey identifies a prepared problem: molecule content hash plus every
+// parameter the preprocessing depends on.
+func cacheKey(mol *molecule.Molecule, o evalOpts) string {
+	return fmt.Sprintf("%s|b%g|s%d|d%d|r%g",
+		mol.HashString(), o.bornEps, o.surf.SubdivLevel, o.surf.Degree, o.surf.RadiusScale)
+}
+
+func msBetween(a, b time.Time) float64 {
+	if b.Before(a) {
+		return 0
+	}
+	return float64(b.Sub(a).Nanoseconds()) / 1e6
+}

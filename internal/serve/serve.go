@@ -1,0 +1,372 @@
+// Package serve is the production serving layer of the library: a
+// long-running HTTP/JSON evaluation service in front of the engine layer
+// that amortizes preprocessing across requests.
+//
+// Every one-shot entry point (cmd/epol, examples) rebuilds the molecular
+// surface, both octrees and the Born radii from scratch per evaluation,
+// even though docking-style workloads evaluate thousands of requests
+// against the same molecule. This package keeps a content-hash-keyed LRU
+// of prepared problems (engine.Prepared: surface + octrees + Born radii)
+// with singleflight deduplication, so concurrent requests for the same
+// molecule build once and subsequent requests skip straight to the E_pol
+// evaluation — the paper's §IV-C "octree construction as preprocessing",
+// applied across a request stream.
+//
+// The service layers three mechanisms over the cache:
+//
+//   - Request batching: pose-sweep requests (POST /v1/sweep) that target
+//     the same receptor/ligand pair with the same parameters and arrive
+//     within Config.BatchWindow are coalesced into one engine run that
+//     shares the prepared receptor and ligand and, by default, composes
+//     each pose's complex surface from the cached parts
+//     (surface.ComposePose) instead of re-sampling it.
+//
+//   - Admission control and backpressure: evaluations run on a bounded
+//     worker pool (Config.Workers slots over the shared-memory engine;
+//     the hybrid OCT_MPI+CILK engine when Config.Ranks > 1) behind a
+//     bounded submission queue. A full queue yields a typed 429 with a
+//     Retry-After hint; a draining server yields 503; a missed deadline
+//     yields 504 and the queued work is abandoned before it runs.
+//
+//   - Observability: every request gets an ID; cache hits/misses, queue
+//     depth, rejections, batch coalescing and per-stage timings (surface /
+//     tree build / eval) are exposed on GET /stats and echoed per request.
+//
+// Endpoints: POST /v1/energy, POST /v1/sweep, GET /healthz, GET /stats.
+// See DESIGN.md §9 for the architecture and README "Serving" for a curl
+// quickstart.
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"octgb/internal/surface"
+)
+
+// Config configures a Server. The zero value serves on DefaultAddr with
+// conservative defaults; see the field docs.
+type Config struct {
+	// Addr is the listen address (default ":8686"). Start binds it; tests
+	// can instead mount Handler() on their own listener.
+	Addr string
+	// Workers is the worker-pool size — the maximum number of evaluations
+	// in flight (default 2). Each evaluation is itself parallel over
+	// Threads.
+	Workers int
+	// Threads is the work-stealing thread count per evaluation (default 2).
+	Threads int
+	// Ranks selects the engine for cold (uncached) evaluations: 1 (default)
+	// runs the shared-memory OCT_CILK path; > 1 runs the hybrid
+	// OCT_MPI+CILK engine with that many in-process ranks (the
+	// configuration used in front of a cmd/epolnode mesh deployment).
+	// Cached re-evaluations always use the prepared shared-memory path;
+	// the two agree to ~1e-12 (see the engine parity tests).
+	Ranks int
+	// MaxQueue is the submission-queue capacity (default 64). Requests
+	// beyond it are rejected with 429.
+	MaxQueue int
+	// MaxCacheBytes is the prepared-problem cache budget (default 256 MiB).
+	// Least-recently-used entries are evicted when the estimated resident
+	// size (engine.Prepared.MemoryBytes) exceeds it.
+	MaxCacheBytes int64
+	// MaxAtoms rejects oversized molecules up front (default 200000).
+	MaxAtoms int
+	// BatchWindow is how long a new sweep batch waits for compatible
+	// requests to coalesce before running (default 5ms).
+	BatchWindow time.Duration
+	// DefaultDeadline bounds a request's total latency (queue wait +
+	// evaluation) when the request does not set deadline_ms (default 60s).
+	DefaultDeadline time.Duration
+	// BornEps / EpolEps are the default approximation parameters when a
+	// request does not override them (default 0.9/0.9, the paper's
+	// operating point).
+	BornEps, EpolEps float64
+	// Surface is the default surface sampling resolution.
+	Surface surface.Options
+	// Logger receives request and lifecycle logs; nil is silent.
+	Logger *log.Logger
+}
+
+// DefaultAddr is the default listen address.
+const DefaultAddr = ":8686"
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = DefaultAddr
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.Threads <= 0 {
+		c.Threads = 2
+	}
+	if c.Ranks <= 0 {
+		c.Ranks = 1
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 64
+	}
+	if c.MaxCacheBytes <= 0 {
+		c.MaxCacheBytes = 256 << 20
+	}
+	if c.MaxAtoms <= 0 {
+		c.MaxAtoms = 200000
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 5 * time.Millisecond
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 60 * time.Second
+	}
+	if c.BornEps == 0 {
+		c.BornEps = 0.9
+	}
+	if c.EpolEps == 0 {
+		c.EpolEps = 0.9
+	}
+	if c.Surface == (surface.Options{}) {
+		c.Surface = surface.Default()
+	}
+	return c
+}
+
+// Server is a resident E_pol evaluation service. Create with New, mount
+// Handler on a listener or call Start, and stop with Shutdown.
+type Server struct {
+	cfg     Config
+	metrics *metrics
+	cache   *prepCache
+	mux     *http.ServeMux
+
+	queue        chan func()
+	stopCh       chan struct{} // closed once by Shutdown after handlers drain
+	workers      sync.WaitGroup
+	handlersLive atomic.Int64
+	draining     atomic.Bool
+	stopped      atomic.Bool
+
+	pendingMu sync.Mutex
+	pending   map[string]*pendingSweep
+
+	nonce  string
+	reqSeq atomic.Int64
+
+	httpMu   sync.Mutex
+	httpSrv  *http.Server
+	listener net.Listener
+}
+
+// New builds a Server and starts its worker pool. The HTTP side is not
+// bound until Start (or until the caller mounts Handler themselves).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		metrics: newMetrics(),
+		queue:   make(chan func(), cfg.MaxQueue),
+		stopCh:  make(chan struct{}),
+		pending: make(map[string]*pendingSweep),
+	}
+	s.cache = newPrepCache(cfg.MaxCacheBytes, s.metrics)
+	var nb [4]byte
+	_, _ = rand.Read(nb[:])
+	s.nonce = hex.EncodeToString(nb[:])
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/energy", s.wrap(s.handleEnergy))
+	s.mux.HandleFunc("/v1/sweep", s.wrap(s.handleSweep))
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/stats", s.handleStats)
+
+	for w := 0; w < cfg.Workers; w++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the HTTP handler tree — the hook for tests and for
+// embedding the service behind an existing mux or TLS terminator.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start binds cfg.Addr and serves until Shutdown. It returns once the
+// listener is bound; serving continues in the background.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("serve: listen %s: %w", s.cfg.Addr, err)
+	}
+	s.httpMu.Lock()
+	s.listener = ln
+	s.httpSrv = &http.Server{Handler: s.mux}
+	srv := s.httpSrv
+	s.httpMu.Unlock()
+	s.logf("serve: listening on %s (workers=%d threads=%d ranks=%d queue=%d cache=%dMiB)",
+		ln.Addr(), s.cfg.Workers, s.cfg.Threads, s.cfg.Ranks, s.cfg.MaxQueue, s.cfg.MaxCacheBytes>>20)
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			s.logf("serve: %v", err)
+		}
+	}()
+	return nil
+}
+
+// Addr returns the bound listen address (useful with ":0"), or "" before
+// Start.
+func (s *Server) Addr() string {
+	s.httpMu.Lock()
+	defer s.httpMu.Unlock()
+	if s.listener == nil {
+		return ""
+	}
+	return s.listener.Addr().String()
+}
+
+// Shutdown drains the server gracefully: new requests are rejected with
+// 503 immediately, in-flight requests (including queued ones) run to
+// completion, then the worker pool stops. It returns ctx.Err() if the
+// drain does not finish in time; the server is unusable afterwards either
+// way.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.logf("serve: draining")
+
+	s.httpMu.Lock()
+	srv := s.httpSrv
+	s.httpMu.Unlock()
+	if srv != nil {
+		if err := srv.Shutdown(ctx); err != nil {
+			return err
+		}
+	}
+
+	// Wait for handler goroutines (covers Handler() mounted on external
+	// listeners, e.g. httptest) — every waiter they registered resolves
+	// before they return. Polled so stragglers that race the drain can
+	// still register, get their 503, and unregister without tripping
+	// WaitGroup reuse rules.
+	for s.handlersLive.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+	}
+
+	if s.stopped.CompareAndSwap(false, true) {
+		close(s.stopCh)
+	}
+	workersDone := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(workersDone)
+	}()
+	select {
+	case <-workersDone:
+		s.logf("serve: drained")
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// worker executes queued evaluations until the server stops; on stop it
+// drains whatever is already queued so accepted work is never dropped.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for {
+		select {
+		case f := <-s.queue:
+			s.metrics.inflight.Add(1)
+			f()
+			s.metrics.inflight.Add(-1)
+		case <-s.stopCh:
+			for {
+				select {
+				case f := <-s.queue:
+					s.metrics.inflight.Add(1)
+					f()
+					s.metrics.inflight.Add(-1)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// errQueueFull and errDraining are the typed admission failures.
+var (
+	errQueueFull = fmt.Errorf("serve: queue full")
+	errDraining  = fmt.Errorf("serve: draining")
+)
+
+// submit enqueues an evaluation without blocking; admission control lives
+// here. The returned error is errQueueFull or errDraining.
+func (s *Server) submit(f func()) error {
+	if s.draining.Load() {
+		s.metrics.rejectedDraining.Add(1)
+		return errDraining
+	}
+	select {
+	case s.queue <- f:
+		return nil
+	default:
+		s.metrics.rejectedQueueFull.Add(1)
+		return errQueueFull
+	}
+}
+
+// submitBatch enqueues a coalesced batch. Batches represent requests that
+// were already admitted, so a full queue blocks instead of rejecting; a
+// stopped server fails the send (the batch's waiters are all gone by
+// then — Shutdown drains handlers before stopping workers).
+func (s *Server) submitBatch(f func()) bool {
+	select {
+	case <-s.stopCh:
+		return false
+	default:
+	}
+	select {
+	case s.queue <- f:
+		return true
+	case <-s.stopCh:
+		return false
+	}
+}
+
+// nextReqID mints a request ID: a per-process nonce plus a sequence
+// number, grep-friendly across the request log and /stats.
+func (s *Server) nextReqID() string {
+	return fmt.Sprintf("%s-%06d", s.nonce, s.reqSeq.Add(1))
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf(format, args...)
+	}
+}
+
+// wrap is the common handler shell: handler-liveness accounting for
+// graceful drain plus the draining fast-reject.
+func (s *Server) wrap(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.handlersLive.Add(1)
+		defer s.handlersLive.Add(-1)
+		if s.draining.Load() {
+			s.metrics.rejectedDraining.Add(1)
+			writeError(w, http.StatusServiceUnavailable, s.nextReqID(), "draining", "server is shutting down", 0)
+			return
+		}
+		h(w, r)
+	}
+}

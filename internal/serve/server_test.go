@@ -1,0 +1,472 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"octgb/internal/engine"
+	"octgb/internal/molecule"
+	"octgb/internal/surface"
+	"octgb/internal/testutil"
+)
+
+// newTestServer builds a Server, mounts it on an httptest listener and
+// registers cleanup (drain + goroutine accounting is up to the caller).
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return s, ts
+}
+
+// postJSON posts v and decodes the response body into out (which may be
+// nil). Returns the HTTP status.
+func postJSON(t *testing.T, url string, v, out any) int {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode response: %v", err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func relDiff(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if m := math.Max(math.Abs(a), math.Abs(b)); m > 0 {
+		return d / m
+	}
+	return d
+}
+
+// TestServerEnergyColdWarm: a cold request builds (cache=miss), matches the
+// library's one-shot engine result, and the warm repeat is a cache hit with
+// the identical energy and no surface/prepare cost.
+func TestServerEnergyColdWarm(t *testing.T) {
+	defer testutil.Watchdog(t, 2*time.Minute)()
+	s, ts := newTestServer(t, Config{Workers: 2, Threads: 2})
+
+	mol := molecule.GenerateProtein("cw", 220, 11)
+	want, err := engine.RunReal(engine.NewProblem(mol, surface.Default()), engine.OctCilk,
+		engine.Options{Threads: 2, BornEps: 0.9, EpolEps: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req := EnergyRequest{Molecule: FromMolecule(mol), IncludeRadii: true}
+	var cold EnergyResponse
+	if code := postJSON(t, ts.URL+"/v1/energy", req, &cold); code != http.StatusOK {
+		t.Fatalf("cold status %d", code)
+	}
+	if cold.Cache != string(sourceBuild) {
+		t.Fatalf("cold cache = %q, want %q", cold.Cache, sourceBuild)
+	}
+	if rd := relDiff(cold.Energy, want.Energy); rd > 1e-12 {
+		t.Fatalf("cold energy %.17g vs engine %.17g (rel %.3g)", cold.Energy, want.Energy, rd)
+	}
+	if len(cold.BornRadii) != mol.N() {
+		t.Fatalf("born radii: %d values for %d atoms", len(cold.BornRadii), mol.N())
+	}
+	if cold.Timings.SurfaceMS <= 0 || cold.Timings.PrepareMS <= 0 {
+		t.Fatalf("cold build reported no surface/prepare time: %+v", cold.Timings)
+	}
+	if cold.RequestID == "" || cold.Engine != engine.OctCilk.String() {
+		t.Fatalf("response metadata: id=%q engine=%q", cold.RequestID, cold.Engine)
+	}
+
+	var warm EnergyResponse
+	if code := postJSON(t, ts.URL+"/v1/energy", req, &warm); code != http.StatusOK {
+		t.Fatalf("warm status %d", code)
+	}
+	if warm.Cache != string(sourceHit) {
+		t.Fatalf("warm cache = %q, want %q", warm.Cache, sourceHit)
+	}
+	// Same prepared problem, but work-stealing perturbs the reduction
+	// order between evaluations — agreement is last-ulp, not bitwise.
+	if rd := relDiff(warm.Energy, cold.Energy); rd > 1e-12 {
+		t.Fatalf("warm energy %.17g vs cold %.17g (rel %.3g)", warm.Energy, cold.Energy, rd)
+	}
+	if warm.Timings.SurfaceMS != 0 || warm.Timings.PrepareMS != 0 {
+		t.Fatalf("warm request paid preprocessing: %+v", warm.Timings)
+	}
+
+	var st StatsSnapshot
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Cache.Builds != 1 || st.Cache.Hits != 1 || st.Requests.Completed != 2 {
+		t.Fatalf("stats: builds=%d hits=%d completed=%d", st.Cache.Builds, st.Cache.Hits, st.Requests.Completed)
+	}
+	_ = s
+}
+
+// TestServerEnergyCoalesced: concurrent identical requests trigger exactly
+// one build; everyone gets the same energy.
+func TestServerEnergyCoalesced(t *testing.T) {
+	defer testutil.Watchdog(t, 2*time.Minute)()
+	s, ts := newTestServer(t, Config{Workers: 4, Threads: 1})
+
+	mol := molecule.GenerateProtein("co", 180, 3)
+	req := EnergyRequest{Molecule: FromMolecule(mol)}
+
+	const n = 6
+	var wg sync.WaitGroup
+	got := make([]EnergyResponse, n)
+	codes := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i] = postJSON(t, ts.URL+"/v1/energy", req, &got[i])
+		}(i)
+	}
+	wg.Wait()
+
+	misses := 0
+	for i := 0; i < n; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, codes[i])
+		}
+		if got[i].Energy != got[0].Energy {
+			t.Fatalf("request %d: energy %.17g != %.17g", i, got[i].Energy, got[0].Energy)
+		}
+		if got[i].Cache == string(sourceBuild) {
+			misses++
+		}
+	}
+	if misses != 1 {
+		t.Fatalf("%d requests reported cache=miss, want exactly 1 (singleflight)", misses)
+	}
+	if b := s.metrics.cacheBuilds.Load(); b != 1 {
+		t.Fatalf("cache ran %d builds, want 1", b)
+	}
+}
+
+// TestServerSweep: concurrent same-pair sweeps coalesce into one batch, the
+// deltas are consistent with the isolated energies, and for pure
+// translations the default composed surface matches exact re-sampling.
+func TestServerSweep(t *testing.T) {
+	defer testutil.Watchdog(t, 4*time.Minute)()
+	s, ts := newTestServer(t, Config{Workers: 2, Threads: 2, BatchWindow: 300 * time.Millisecond})
+
+	rec := molecule.GenerateProtein("rec", 150, 7)
+	lig := molecule.GenerateProtein("lig", 60, 8)
+	// Overlapping contact poses (translation only → composition is exact).
+	off := 0.6 * rec.Bounds().HalfDiagonal()
+	mkReq := func(ts ...[3]float64) SweepRequest {
+		req := SweepRequest{Receptor: ptr(FromMolecule(rec)), Ligand: FromMolecule(lig)}
+		for _, v := range ts {
+			req.Poses = append(req.Poses, PoseJSON{T: v})
+		}
+		return req
+	}
+	reqA := mkReq([3]float64{off, 0, 0}, [3]float64{0, off, 0})
+	reqB := mkReq([3]float64{0, 0, off})
+
+	var wg sync.WaitGroup
+	var respA, respB SweepResponse
+	var codeA, codeB int
+	wg.Add(2)
+	go func() { defer wg.Done(); codeA = postJSON(t, ts.URL+"/v1/sweep", reqA, &respA) }()
+	go func() { defer wg.Done(); codeB = postJSON(t, ts.URL+"/v1/sweep", reqB, &respB) }()
+	wg.Wait()
+	if codeA != http.StatusOK || codeB != http.StatusOK {
+		t.Fatalf("sweep statuses %d/%d", codeA, codeB)
+	}
+
+	// Both rode one coalesced batch of 2 requests / 3 poses.
+	for _, r := range []SweepResponse{respA, respB} {
+		if r.BatchRequests != 2 || r.BatchPoses != 3 {
+			t.Fatalf("batch = %d requests / %d poses, want 2/3", r.BatchRequests, r.BatchPoses)
+		}
+	}
+	if b := s.metrics.batchesRun.Load(); b != 1 {
+		t.Fatalf("ran %d batches, want 1", b)
+	}
+	if len(respA.Energies) != 2 || len(respB.Energies) != 1 {
+		t.Fatalf("pose counts: %d/%d", len(respA.Energies), len(respB.Energies))
+	}
+	// Isolated energies are shared across the batch; deltas are consistent.
+	if respA.LigandEnergy != respB.LigandEnergy || respA.ReceptorEnergy != respB.ReceptorEnergy {
+		t.Fatalf("batch members disagree on isolated energies")
+	}
+	for i, e := range respA.Energies {
+		want := e - respA.ReceptorEnergy - respA.LigandEnergy
+		if respA.Deltas[i] != want {
+			t.Fatalf("delta[%d] = %.17g, want %.17g", i, respA.Deltas[i], want)
+		}
+	}
+
+	// Translation poses: composed surface == re-sampled surface.
+	exact := reqB
+	exact.ExactSurface = true
+	var respE SweepResponse
+	if code := postJSON(t, ts.URL+"/v1/sweep", exact, &respE); code != http.StatusOK {
+		t.Fatalf("exact sweep status %d", code)
+	}
+	if rd := relDiff(respE.Energies[0], respB.Energies[0]); rd > 1e-12 {
+		t.Fatalf("composed %.17g vs exact %.17g (rel %.3g)", respB.Energies[0], respE.Energies[0], rd)
+	}
+
+	// A receptor-free sweep returns absolute energies, no deltas.
+	free := SweepRequest{Ligand: FromMolecule(lig), Poses: []PoseJSON{{T: [3]float64{1, 2, 3}}}}
+	var respF SweepResponse
+	if code := postJSON(t, ts.URL+"/v1/sweep", free, &respF); code != http.StatusOK {
+		t.Fatalf("free sweep status %d", code)
+	}
+	if len(respF.Energies) != 1 || respF.Deltas != nil {
+		t.Fatalf("receptor-free sweep: energies=%d deltas=%v", len(respF.Energies), respF.Deltas)
+	}
+	// Rigid-motion invariance: posed ligand energy equals its isolated energy.
+	if rd := relDiff(respF.Energies[0], respF.LigandEnergy); rd > 1e-12 {
+		t.Fatalf("translated ligand energy drifted: %.17g vs %.17g", respF.Energies[0], respF.LigandEnergy)
+	}
+}
+
+func ptr[T any](v T) *T { return &v }
+
+// TestServerAdmission: a saturated queue yields typed 429s with a
+// Retry-After hint; both endpoints reject.
+func TestServerAdmission(t *testing.T) {
+	defer testutil.Watchdog(t, time.Minute)()
+	s, ts := newTestServer(t, Config{Workers: 1, Threads: 1, MaxQueue: 1})
+
+	// Occupy the single worker, then fill the single queue slot.
+	block := make(chan struct{})
+	running := make(chan struct{})
+	if err := s.submit(func() { close(running); <-block }); err != nil {
+		t.Fatal(err)
+	}
+	<-running
+	if err := s.submit(func() {}); err != nil {
+		t.Fatal(err)
+	}
+
+	mol := molecule.GenerateProtein("adm", 40, 1)
+	var e ErrorResponse
+	if code := postJSON(t, ts.URL+"/v1/energy", EnergyRequest{Molecule: FromMolecule(mol)}, &e); code != http.StatusTooManyRequests {
+		t.Fatalf("energy status %d, want 429", code)
+	}
+	if e.Error != "queue_full" || e.RetryAfterMS <= 0 {
+		t.Fatalf("energy rejection: %+v", e)
+	}
+	sw := SweepRequest{Ligand: FromMolecule(mol), Poses: []PoseJSON{{}}}
+	if code := postJSON(t, ts.URL+"/v1/sweep", sw, &e); code != http.StatusTooManyRequests {
+		t.Fatalf("sweep status %d, want 429", code)
+	}
+	if e.Error != "queue_full" {
+		t.Fatalf("sweep rejection: %+v", e)
+	}
+	if got := s.metrics.rejectedQueueFull.Load(); got != 2 {
+		t.Fatalf("rejected_queue_full = %d, want 2", got)
+	}
+	close(block)
+}
+
+// TestServerDeadline: a request whose deadline elapses while queued gets
+// 504 and the queued work is abandoned without evaluating.
+func TestServerDeadline(t *testing.T) {
+	defer testutil.Watchdog(t, time.Minute)()
+	s, ts := newTestServer(t, Config{Workers: 1, Threads: 1})
+
+	block := make(chan struct{})
+	running := make(chan struct{})
+	if err := s.submit(func() { close(running); <-block }); err != nil {
+		t.Fatal(err)
+	}
+	<-running
+
+	mol := molecule.GenerateProtein("dl", 40, 2)
+	req := EnergyRequest{Molecule: FromMolecule(mol), DeadlineMS: 30}
+	var e ErrorResponse
+	if code := postJSON(t, ts.URL+"/v1/energy", req, &e); code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", code)
+	}
+	if e.Error != "deadline_exceeded" {
+		t.Fatalf("error token %q", e.Error)
+	}
+	close(block)
+
+	// The abandoned task must be discarded by the worker without building.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.metrics.canceled.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if s.metrics.canceled.Load() != 1 {
+		t.Fatalf("canceled = %d, want 1", s.metrics.canceled.Load())
+	}
+	if b := s.metrics.cacheBuilds.Load(); b != 0 {
+		t.Fatalf("expired request still built (%d builds)", b)
+	}
+	if s.metrics.deadlineMisses.Load() != 1 {
+		t.Fatalf("deadline_misses = %d, want 1", s.metrics.deadlineMisses.Load())
+	}
+}
+
+// TestServerBadRequests: malformed input gets typed 4xx, never a panic or
+// a queued evaluation.
+func TestServerBadRequests(t *testing.T) {
+	defer testutil.Watchdog(t, time.Minute)()
+	_, ts := newTestServer(t, Config{Workers: 1, Threads: 1, MaxAtoms: 50})
+
+	get, err := http.Get(ts.URL + "/v1/energy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	get.Body.Close()
+	if get.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status %d, want 405", get.StatusCode)
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/energy", "application/json", bytes.NewReader([]byte("{not json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e ErrorResponse
+	_ = json.NewDecoder(resp.Body).Decode(&e)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || e.Error != "bad_request" {
+		t.Fatalf("bad JSON: status %d token %q", resp.StatusCode, e.Error)
+	}
+
+	if code := postJSON(t, ts.URL+"/v1/energy", EnergyRequest{}, &e); code != http.StatusBadRequest {
+		t.Fatalf("empty molecule: status %d", code)
+	}
+
+	big := molecule.GenerateProtein("big", 60, 1) // over MaxAtoms=50
+	if code := postJSON(t, ts.URL+"/v1/energy", EnergyRequest{Molecule: FromMolecule(big)}, &e); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized: status %d", code)
+	}
+	if e.Error != "too_large" {
+		t.Fatalf("oversized token %q", e.Error)
+	}
+
+	small := molecule.GenerateProtein("s", 10, 1)
+	if code := postJSON(t, ts.URL+"/v1/sweep", SweepRequest{Ligand: FromMolecule(small)}, &e); code != http.StatusBadRequest {
+		t.Fatalf("no poses: status %d", code)
+	}
+}
+
+// TestServerDrain is the graceful-shutdown contract: an in-flight request
+// completes with 200, new requests are rejected with 503, Shutdown returns
+// cleanly and no goroutines leak.
+func TestServerDrain(t *testing.T) {
+	defer testutil.Watchdog(t, 2*time.Minute)()
+	baseline := runtime.NumGoroutine()
+
+	s := New(Config{Workers: 2, Threads: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	mol := molecule.GenerateProtein("drain", 400, 5)
+	inflight := make(chan struct{})
+	var resp EnergyResponse
+	var code int
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Signal just before the POST; the handler will be mid-flight (or at
+		// worst mid-queue — both must survive the drain).
+		close(inflight)
+		code = postJSON(t, ts.URL+"/v1/energy", EnergyRequest{Molecule: FromMolecule(mol)}, &resp)
+	}()
+	<-inflight
+	// Wait until the request is actually being evaluated.
+	for i := 0; i < 5000 && s.metrics.inflight.Load() == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	<-done
+	if code != http.StatusOK {
+		t.Fatalf("in-flight request got %d during drain, want 200", code)
+	}
+	if resp.Energy == 0 {
+		t.Fatalf("in-flight request returned no energy")
+	}
+
+	// The drained server refuses new work with a typed 503.
+	var e ErrorResponse
+	if code := postJSON(t, ts.URL+"/v1/energy", EnergyRequest{Molecule: FromMolecule(mol)}, &e); code != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain status %d, want 503", code)
+	}
+	if e.Error != "draining" {
+		t.Fatalf("post-drain token %q", e.Error)
+	}
+	hz, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz status %d while draining, want 503", hz.StatusCode)
+	}
+
+	ts.Close()
+	if n := testutil.WaitGoroutines(baseline, 10*time.Second); n > baseline {
+		t.Fatalf("goroutine leak after drain: %d live, baseline %d", n, baseline)
+	}
+}
+
+// TestServerStartAddr: Start binds a real listener; /healthz answers over
+// TCP and Shutdown closes it.
+func TestServerStartAddr(t *testing.T) {
+	defer testutil.Watchdog(t, time.Minute)()
+	s := New(Config{Addr: "127.0.0.1:0", Workers: 1, Threads: 1})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addr := s.Addr()
+	if addr == "" {
+		t.Fatal("no bound address")
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/healthz", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz %d", resp.StatusCode)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if _, err := http.Get(fmt.Sprintf("http://%s/healthz", addr)); err == nil {
+		t.Fatal("listener still accepting after shutdown")
+	}
+}

@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// metrics is the server's counter set. Everything is atomic so the hot
+// path never takes a lock to record.
+type metrics struct {
+	start time.Time
+
+	energyRequests atomic.Int64
+	sweepRequests  atomic.Int64
+	completed      atomic.Int64
+	failed         atomic.Int64
+
+	rejectedQueueFull atomic.Int64
+	rejectedDraining  atomic.Int64
+	deadlineMisses    atomic.Int64
+	canceled          atomic.Int64 // queued work abandoned before running
+
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+	cacheCoalesced atomic.Int64 // singleflight waiters
+	cacheBuilds    atomic.Int64
+	cacheEvictions atomic.Int64
+
+	batchesRun      atomic.Int64
+	batchedRequests atomic.Int64
+	batchedPoses    atomic.Int64
+
+	inflight atomic.Int64
+
+	surfaceNS atomic.Int64 // surface sampling (cold builds + exact sweep poses)
+	prepareNS atomic.Int64 // octree construction + Born phase
+	evalNS    atomic.Int64 // E_pol evaluation
+	buildNS   atomic.Int64 // whole cache builds (surface+prepare)
+	evals     atomic.Int64 // E_pol evaluations executed
+}
+
+func newMetrics() *metrics { return &metrics{start: time.Now()} }
+
+// StatsSnapshot is the GET /stats payload — a point-in-time copy of every
+// counter plus derived queue/cache occupancy.
+type StatsSnapshot struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Draining      bool    `json:"draining"`
+
+	Requests struct {
+		Energy    int64 `json:"energy"`
+		Sweep     int64 `json:"sweep"`
+		Completed int64 `json:"completed"`
+		Failed    int64 `json:"failed"`
+	} `json:"requests"`
+
+	Admission struct {
+		QueueDepth        int   `json:"queue_depth"`
+		QueueCapacity     int   `json:"queue_capacity"`
+		Inflight          int64 `json:"inflight"`
+		Workers           int   `json:"workers"`
+		RejectedQueueFull int64 `json:"rejected_queue_full"`
+		RejectedDraining  int64 `json:"rejected_draining"`
+		DeadlineMisses    int64 `json:"deadline_misses"`
+		Canceled          int64 `json:"canceled"`
+	} `json:"admission"`
+
+	Cache struct {
+		Hits      int64 `json:"hits"`
+		Misses    int64 `json:"misses"`
+		Coalesced int64 `json:"coalesced"`
+		Builds    int64 `json:"builds"`
+		Evictions int64 `json:"evictions"`
+		Entries   int   `json:"entries"`
+		Bytes     int64 `json:"bytes"`
+		MaxBytes  int64 `json:"max_bytes"`
+	} `json:"cache"`
+
+	Batching struct {
+		BatchesRun      int64 `json:"batches_run"`
+		BatchedRequests int64 `json:"batched_requests"`
+		BatchedPoses    int64 `json:"batched_poses"`
+	} `json:"batching"`
+
+	Timings struct {
+		SurfaceMSTotal float64 `json:"surface_ms_total"`
+		PrepareMSTotal float64 `json:"prepare_ms_total"`
+		EvalMSTotal    float64 `json:"eval_ms_total"`
+		BuildMSTotal   float64 `json:"build_ms_total"`
+		Evals          int64   `json:"evals"`
+	} `json:"timings"`
+}
+
+func (s *Server) snapshot() StatsSnapshot {
+	m := s.metrics
+	var out StatsSnapshot
+	out.UptimeSeconds = time.Since(m.start).Seconds()
+	out.Draining = s.draining.Load()
+
+	out.Requests.Energy = m.energyRequests.Load()
+	out.Requests.Sweep = m.sweepRequests.Load()
+	out.Requests.Completed = m.completed.Load()
+	out.Requests.Failed = m.failed.Load()
+
+	out.Admission.QueueDepth = len(s.queue)
+	out.Admission.QueueCapacity = cap(s.queue)
+	out.Admission.Inflight = m.inflight.Load()
+	out.Admission.Workers = s.cfg.Workers
+	out.Admission.RejectedQueueFull = m.rejectedQueueFull.Load()
+	out.Admission.RejectedDraining = m.rejectedDraining.Load()
+	out.Admission.DeadlineMisses = m.deadlineMisses.Load()
+	out.Admission.Canceled = m.canceled.Load()
+
+	entries, bytes := s.cache.stats()
+	out.Cache.Hits = m.cacheHits.Load()
+	out.Cache.Misses = m.cacheMisses.Load()
+	out.Cache.Coalesced = m.cacheCoalesced.Load()
+	out.Cache.Builds = m.cacheBuilds.Load()
+	out.Cache.Evictions = m.cacheEvictions.Load()
+	out.Cache.Entries = entries
+	out.Cache.Bytes = bytes
+	out.Cache.MaxBytes = s.cfg.MaxCacheBytes
+
+	out.Batching.BatchesRun = m.batchesRun.Load()
+	out.Batching.BatchedRequests = m.batchedRequests.Load()
+	out.Batching.BatchedPoses = m.batchedPoses.Load()
+
+	out.Timings.SurfaceMSTotal = float64(m.surfaceNS.Load()) / 1e6
+	out.Timings.PrepareMSTotal = float64(m.prepareNS.Load()) / 1e6
+	out.Timings.EvalMSTotal = float64(m.evalNS.Load()) / 1e6
+	out.Timings.BuildMSTotal = float64(m.buildNS.Load()) / 1e6
+	out.Timings.Evals = m.evals.Load()
+	return out
+}

@@ -1,0 +1,98 @@
+package surface
+
+import (
+	"octgb/internal/geom"
+	"octgb/internal/molecule"
+	"octgb/internal/octree"
+)
+
+// ComposePose assembles the molecular surface of a receptor–ligand complex
+// from the two molecules' already-sampled surfaces instead of re-sampling
+// the merged molecule — the per-pose fast path of a docking sweep, where
+// the receptor never moves and the ligand is placed at thousands of rigid
+// poses.
+//
+// The construction is exact with respect to Sample's culling rule: a
+// receptor point survives in the complex iff it is not strictly inside any
+// other complex atom, and the receptor-internal part of that test was
+// already applied when recQ was sampled, so only burial by posed-ligand
+// atoms remains to check (and symmetrically for ligand points against
+// receptor atoms). Ligand points and normals are carried through the rigid
+// transform; quadrature weights are rotation/translation invariant.
+//
+// For a pure translation the result is numerically identical to
+// Sample(Merge(rec, lig.Transform(pose)), opt). Under rotation the two
+// differ at the surface-discretization level only: Sample re-tiles every
+// posed ligand atom with the fixed world-frame icosphere, while
+// ComposePose rotates the original tiling with the molecule. Both are
+// equally valid quadratures of the same surface (the icosphere orientation
+// is arbitrary); energies agree to the quadrature accuracy, not bitwise.
+// See TestComposePose for both properties.
+//
+// recQ and ligQ must have been sampled with the same Options opt that is
+// passed here (opt supplies the radius scale for the burial tests).
+func ComposePose(name string, rec *molecule.Molecule, recQ []QPoint,
+	lig *molecule.Molecule, ligQ []QPoint, pose geom.Rigid, opt Options) (*molecule.Molecule, []QPoint) {
+	opt = opt.withDefaults()
+	posed := lig.Transform(pose)
+	cx := molecule.Merge(name, rec, posed)
+
+	out := make([]QPoint, 0, len(recQ)+len(ligQ))
+
+	// Receptor points: cull those buried by any posed-ligand atom.
+	ligTree, ligMaxR := centerTree(posed, opt.RadiusScale)
+	for i := range recQ {
+		if buriedByAny(ligTree, posed, opt.RadiusScale, recQ[i].Pos, ligMaxR) {
+			continue
+		}
+		out = append(out, recQ[i])
+	}
+
+	// Ligand points: rigidly transport, cull those buried by any receptor
+	// atom.
+	recTree, recMaxR := centerTree(rec, opt.RadiusScale)
+	for i := range ligQ {
+		p := pose.Apply(ligQ[i].Pos)
+		if buriedByAny(recTree, rec, opt.RadiusScale, p, recMaxR) {
+			continue
+		}
+		out = append(out, QPoint{
+			Pos:    p,
+			Normal: pose.ApplyVector(ligQ[i].Normal),
+			Weight: ligQ[i].Weight,
+		})
+	}
+	return cx, out
+}
+
+// centerTree builds an octree over the molecule's atom centers and returns
+// it with the largest scaled radius (the burial query ball).
+func centerTree(m *molecule.Molecule, scale float64) (*octree.Tree, float64) {
+	centers := make([]geom.Vec3, m.N())
+	maxR := 0.0
+	for i := range m.Atoms {
+		centers[i] = m.Atoms[i].Pos
+		if r := m.Atoms[i].Radius * scale; r > maxR {
+			maxR = r
+		}
+	}
+	return octree.Build(centers, 0), maxR
+}
+
+// buriedByAny reports whether p lies strictly inside any atom of mol —
+// the cross-molecule half of Sample's burial rule, where no atom is
+// "self". The strictness threshold matches buried exactly so composed
+// surfaces reproduce Sample's culling decisions.
+func buriedByAny(tree *octree.Tree, mol *molecule.Molecule, scale float64, p geom.Vec3, maxR float64) bool {
+	hit := false
+	tree.ForEachInBall(p, maxR, func(ti int32) bool {
+		a := &mol.Atoms[tree.Perm[ti]]
+		r := a.Radius * scale
+		if a.Pos.Dist2(p) < r*r*(1-1e-12) {
+			hit = true
+			return false
+		}
+		return true
+	})
+	return hit
+}

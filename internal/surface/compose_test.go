@@ -1,0 +1,84 @@
+package surface
+
+import (
+	"math"
+	"testing"
+
+	"octgb/internal/geom"
+	"octgb/internal/molecule"
+)
+
+// TestComposePoseTranslationExact: for a pure translation the composed
+// complex surface must reproduce Sample(Merge(...)) point for point — same
+// ordering, same culling decisions, same weights.
+func TestComposePoseTranslationExact(t *testing.T) {
+	rec := molecule.GenerateProtein("rec", 600, 5)
+	lig := molecule.GenerateProtein("lig", 120, 6)
+	opt := Default()
+	recQ := Sample(rec, opt)
+	ligQ := Sample(lig, opt)
+
+	// Place the ligand in contact with the receptor's flank so the
+	// cross-burial culling actually fires.
+	rb := rec.Bounds()
+	pose := geom.Translation(geom.V(0.6*rb.HalfDiagonal(), 0, 0).Add(rb.Center()).Sub(lig.Bounds().Center()))
+
+	cx, composed := ComposePose("cx", rec, recQ, lig, ligQ, pose, opt)
+	ref := Sample(molecule.Merge("cx", rec, lig.Transform(pose)), opt)
+
+	if got, want := TotalArea(composed), TotalArea(ref); math.Abs(got-want) > 1e-9*math.Abs(want) {
+		t.Fatalf("composed area %.12g != sampled area %.12g", got, want)
+	}
+	if len(composed) != len(ref) {
+		t.Fatalf("composed %d points, sampled %d", len(composed), len(ref))
+	}
+	for i := range composed {
+		if composed[i].Pos.Dist2(ref[i].Pos) > 1e-18 {
+			t.Fatalf("point %d position differs: %v vs %v", i, composed[i].Pos, ref[i].Pos)
+		}
+		if math.Abs(composed[i].Weight-ref[i].Weight) > 1e-15 {
+			t.Fatalf("point %d weight differs", i)
+		}
+	}
+	if cx.N() != rec.N()+lig.N() {
+		t.Fatalf("complex has %d atoms, want %d", cx.N(), rec.N()+lig.N())
+	}
+	// The contact must have culled something relative to the isolated parts.
+	if len(composed) >= len(recQ)+len(ligQ) {
+		t.Fatalf("no cross-burial culling happened (pose not in contact?)")
+	}
+}
+
+// TestComposePoseRotationQuadratureLevel: under rotation the composed
+// surface rotates the ligand's original icosphere tiling while Sample
+// re-tiles in the world frame — two equally valid quadratures of the same
+// surface. Area and (downstream) energies agree at the discretization
+// level, not bitwise.
+func TestComposePoseRotationQuadratureLevel(t *testing.T) {
+	rec := molecule.GenerateProtein("rec", 500, 9)
+	lig := molecule.GenerateProtein("lig", 100, 10)
+	opt := Default()
+	recQ := Sample(rec, opt)
+	ligQ := Sample(lig, opt)
+
+	rb := rec.Bounds()
+	pose := geom.RotationAxisAngle(geom.V(0, 1, 0), 0.7)
+	pose.T = geom.V(0, rb.HalfDiagonal()+2, 0).Add(rb.Center())
+
+	_, composed := ComposePose("cx", rec, recQ, lig, ligQ, pose, opt)
+	ref := Sample(molecule.Merge("cx", rec, lig.Transform(pose)), opt)
+
+	got, want := TotalArea(composed), TotalArea(ref)
+	if rel := math.Abs(got-want) / math.Abs(want); rel > 5e-3 {
+		t.Fatalf("composed area %.6g vs sampled %.6g (rel %.2g > 5e-3)", got, want, rel)
+	}
+
+	// Weights must be preserved exactly through the rigid transform and
+	// normals must stay unit length.
+	for i := range composed {
+		n := composed[i].Normal
+		if math.Abs(n.Dot(n)-1) > 1e-12 {
+			t.Fatalf("point %d normal not unit after rotation", i)
+		}
+	}
+}
