@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: verify build vet test race fuzz chaos bench bench-kernels bench-comm serve-bench
+.PHONY: verify build vet staticcheck test race fuzz chaos obs-smoke bench bench-kernels bench-comm serve-bench
 
-## verify: the tier-1 gate — build, vet, full tests, then race-test the
-## concurrency-bearing packages (scheduler, treecode kernels, cluster
-## transports, distributed engines, chaos harness).
-verify: build vet test race
+## verify: the tier-1 gate — build, vet (+staticcheck when installed), full
+## tests, race-test the concurrency-bearing packages (scheduler, treecode
+## kernels, cluster transports, distributed engines, chaos harness,
+## observability, serving), then smoke the /metrics exposition.
+verify: build vet staticcheck test race obs-smoke
 
 build:
 	$(GO) build ./...
@@ -13,11 +14,27 @@ build:
 vet:
 	$(GO) vet ./...
 
+## staticcheck: run staticcheck over the observability and serving layers
+## when the tool is on PATH; a bare toolchain skips it rather than failing.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./internal/obs/... ./internal/serve/... ./cmd/...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
+
 test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sched/... ./internal/core/... ./internal/cluster/... ./internal/engine/... ./internal/clusterchaos/... ./internal/serve/...
+	$(GO) test -race ./internal/sched/... ./internal/core/... ./internal/cluster/... ./internal/engine/... ./internal/clusterchaos/... ./internal/serve/... ./internal/obs/...
+
+## obs-smoke: boot the instrumented serving stack on a loopback port, drive
+## requests through it and fail on any malformed /metrics exposition line
+## or missing metric family (cmd/obssmoke; uses the library's own
+## Prometheus text-format validator, no external tools).
+obs-smoke:
+	$(GO) run ./cmd/obssmoke
 
 ## fuzz: short smoke of the native fuzz targets (wire-frame decoder and PQR
 ## parser) on top of their committed seed corpora. CI-friendly budget; run

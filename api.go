@@ -25,6 +25,7 @@ import (
 	"octgb/internal/gb"
 	"octgb/internal/geom"
 	"octgb/internal/molecule"
+	"octgb/internal/obs"
 	"octgb/internal/serve"
 	"octgb/internal/simtime"
 	"octgb/internal/surface"
@@ -184,6 +185,22 @@ type (
 // NewServer builds an evaluation service and starts its worker pool; call
 // Start (or mount Handler) to serve, Shutdown to drain.
 func NewServer(cfg ServeConfig) *Server { return serve.New(cfg) }
+
+// Observability: a zero-dependency instrumentation layer — lock-free
+// latency histograms rendered in Prometheus text format, span tracing
+// dumpable as Chrome trace_event JSON. An Observer attaches to
+// EngineOptions.Observe and ServeConfig.Observe; nil (the default) keeps
+// every instrumented path allocation-free and numerically bitwise
+// identical. See the obs package docs and DESIGN.md §10.
+type (
+	// Observer bundles a metric registry and a span tracer.
+	Observer = obs.Observer
+	// HistogramSnapshot is a point-in-time histogram copy (Quantile/Mean).
+	HistogramSnapshot = obs.HistSnapshot
+)
+
+// NewObserver returns an Observer with a fresh registry and tracer.
+func NewObserver() *Observer { return obs.New() }
 
 // Prepare runs the preprocessing half of an evaluation once (octree
 // construction + Born radii, the paper's steps 1-4) so EvalEpol can be

@@ -21,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
@@ -28,6 +30,7 @@ import (
 	"octgb/internal/engine"
 	"octgb/internal/gb"
 	"octgb/internal/molecule"
+	"octgb/internal/obs"
 	"octgb/internal/surface"
 )
 
@@ -46,6 +49,7 @@ func main() {
 		approx  = flag.Bool("approx", false, "approximate math")
 		mesh    = flag.Bool("mesh", true, "build the worker-to-worker mesh for topology-aware collectives (same flag on every rank; -mesh=false falls back to the root star)")
 		timeout = flag.Duration("commtimeout", 30*time.Second, "failure-detection timeout: a rank silent this long is reported failed (same value on every rank; 0 disables detection and blocks forever)")
+		obsAddr = flag.String("obs", "", "debug listener address (e.g. 127.0.0.1:6060) exposing /metrics, /debug/trace and /debug/pprof/*; empty disables instrumentation")
 	)
 	flag.Parse()
 
@@ -59,6 +63,19 @@ func main() {
 		opts.Math = gb.Approximate
 	}
 
+	// -obs turns on instrumentation for this rank — engine phase
+	// histograms, collective latency/bytes, heartbeat gaps, trace spans —
+	// and serves them on a side listener so a cluster dashboard can scrape
+	// every rank independently of the compute transport.
+	var ob *obs.Observer
+	if *obsAddr != "" {
+		ob = obs.New()
+		opts.Observe = ob
+		if err := serveDebug(*obsAddr, ob); err != nil {
+			fatal(err)
+		}
+	}
+
 	// The transport logger surfaces fault-tolerance events — dial retries
 	// and, above all, the Topo→Star downgrade when the mesh cannot be
 	// completed — so a degraded deployment is visible, not silent.
@@ -68,6 +85,9 @@ func main() {
 	tcpOpts := []cluster.TCPOption{cluster.WithLogger(logf), cluster.WithCommTimeout(opts.CommTimeout)}
 	if *mesh {
 		tcpOpts = append(tcpOpts, cluster.WithMesh())
+	}
+	if ob != nil {
+		tcpOpts = append(tcpOpts, cluster.WithObserver(ob))
 	}
 	var comm cluster.Comm
 	switch {
@@ -106,6 +126,32 @@ func main() {
 	if comm.Rank() == 0 {
 		fmt.Printf("molecule: %s (%d atoms)\nE_pol: %.6g kcal/mol\n", mol.Name, mol.N(), rep.Energy)
 	}
+}
+
+// serveDebug binds the -obs listener and serves the observability
+// endpoints in the background for the life of the process (the run exits
+// when the computation does; no graceful drain is needed for a scrape
+// target).
+func serveDebug(addr string, ob *obs.Observer) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("obs listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", ob.Reg.Handler())
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = ob.Trace.WriteTrace(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	fmt.Fprintf(os.Stderr, "epolnode: observability on http://%s/metrics\n", ln.Addr())
+	go func() { _ = srv.Serve(ln) }()
+	return nil
 }
 
 func loadMolecule(in string, gen int, seed int64) (*molecule.Molecule, error) {

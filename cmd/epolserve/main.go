@@ -8,10 +8,14 @@
 //	epolserve -ranks 4                  # hybrid engine for cold requests
 //	epolserve -cache-mb 1024 -queue 256 # bigger deployment
 //
-// Endpoints: POST /v1/energy, POST /v1/sweep, GET /healthz, GET /stats.
-// See README "Serving" for a curl quickstart and DESIGN.md §9 for the
-// architecture. SIGTERM/SIGINT drain gracefully: in-flight and queued
-// requests complete, new ones are rejected with 503.
+// Endpoints: POST /v1/energy, POST /v1/sweep, GET /healthz, GET /stats —
+// plus, with -observe (the default), GET /metrics (Prometheus text
+// format), GET /debug/trace (Chrome trace_event JSON) and the
+// /debug/pprof/* profiling family. See README "Serving"/"Observability"
+// for curl quickstarts, DESIGN.md §9 for the serving architecture and §10
+// for the metric inventory. SIGTERM/SIGINT drain gracefully: in-flight and
+// queued requests complete, new ones are rejected with 503 (metrics keep
+// scraping during the drain).
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"octgb/internal/obs"
 	"octgb/internal/serve"
 	"octgb/internal/surface"
 )
@@ -57,6 +62,7 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		epolEps     = fs.Float64("epoleps", 0.9, "default energy approximation parameter ε")
 		subdiv      = fs.Int("subdiv", 1, "default surface icosphere subdivision level")
 		degree      = fs.Int("degree", 1, "default Dunavant quadrature degree (1-5)")
+		observe     = fs.Bool("observe", true, "expose /metrics, /debug/trace and /debug/pprof/* and record latency histograms")
 		verbose     = fs.Bool("v", false, "log every request")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -76,6 +82,9 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		BornEps:         *bornEps,
 		EpolEps:         *epolEps,
 		Surface:         surface.Options{SubdivLevel: *subdiv, Degree: *degree},
+	}
+	if *observe {
+		cfg.Observe = obs.New()
 	}
 	if *verbose {
 		cfg.Logger = log.New(out, "", log.LstdFlags|log.Lmicroseconds)

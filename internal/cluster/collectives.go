@@ -3,6 +3,9 @@ package cluster
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
+
+	"octgb/internal/obs"
 )
 
 // This file implements the topology-aware collective algorithms on top of
@@ -114,10 +117,13 @@ type pairwise interface {
 
 // coll runs the collective algorithms over a pairwise transport. hook, if
 // non-nil, observes completed collectives (set on rank 0 only, preserving
-// the once-per-collective contract of CollectiveHook).
+// the once-per-collective contract of CollectiveHook). obs, if non-nil,
+// records per-kind per-rank latency histograms, byte counters and trace
+// spans for every completed collective (set on every rank).
 type coll struct {
 	pw   pairwise
 	hook CollectiveHook
+	obs  *obs.Observer
 	seq  atomic.Int64
 }
 
@@ -245,28 +251,34 @@ func (c *coll) allreduceTag(tag int, buf []float64, op func(dst, src []float64))
 }
 
 func (c *coll) AllreduceSum(buf []float64) error {
+	start := time.Now()
 	if err := c.allreduceTag(c.nextTag(), buf, sumInto); err != nil {
 		return err
 	}
 	c.observe("allreduce", len(buf))
+	recordCollective(c.obs, "allreduce", c.pw.Rank(), len(buf), start)
 	return nil
 }
 
 func (c *coll) AllreduceMax(buf []float64) error {
+	start := time.Now()
 	if err := c.allreduceTag(c.nextTag(), buf, maxInto); err != nil {
 		return err
 	}
 	c.observe("allreducemax", len(buf))
+	recordCollective(c.obs, "allreducemax", c.pw.Rank(), len(buf), start)
 	return nil
 }
 
 func (c *coll) IAllreduceSum(buf []float64) Request {
 	tag := c.nextTag()
+	start := time.Now()
 	r := &request{done: make(chan struct{})}
 	go func() {
 		r.err = c.allreduceTag(tag, buf, sumInto)
 		if r.err == nil {
 			c.observe("allreduce", len(buf))
+			recordCollective(c.obs, "allreduce", c.pw.Rank(), len(buf), start)
 		}
 		close(r.done)
 	}()
@@ -320,20 +332,24 @@ func (c *coll) allgathervTag(tag int, segment []float64, counts []int, out []flo
 }
 
 func (c *coll) Allgatherv(segment []float64, counts []int, out []float64) error {
+	start := time.Now()
 	if err := c.allgathervTag(c.nextTag(), segment, counts, out); err != nil {
 		return err
 	}
 	c.observe("allgatherv", len(out))
+	recordCollective(c.obs, "allgatherv", c.pw.Rank(), len(out), start)
 	return nil
 }
 
 func (c *coll) IAllgatherv(segment []float64, counts []int, out []float64) Request {
 	tag := c.nextTag()
+	start := time.Now()
 	r := &request{done: make(chan struct{})}
 	go func() {
 		r.err = c.allgathervTag(tag, segment, counts, out)
 		if r.err == nil {
 			c.observe("allgatherv", len(out))
+			recordCollective(c.obs, "allgatherv", c.pw.Rank(), len(out), start)
 		}
 		close(r.done)
 	}()
@@ -378,10 +394,12 @@ func (c *coll) bcastTag(tag int, buf []float64, root int) error {
 }
 
 func (c *coll) Bcast(buf []float64, root int) error {
+	start := time.Now()
 	if err := c.bcastTag(c.nextTag(), buf, root); err != nil {
 		return err
 	}
 	c.observe("bcast", len(buf))
+	recordCollective(c.obs, "bcast", c.pw.Rank(), len(buf), start)
 	return nil
 }
 
@@ -394,6 +412,7 @@ func (c *coll) Barrier() error {
 	if size == 1 {
 		return nil
 	}
+	start := time.Now()
 	tag := c.nextTag()
 	for k := 1; k < size; k <<= 1 {
 		if err := c.pw.sendTag((rank+k)%size, tag, nil); err != nil {
@@ -406,5 +425,6 @@ func (c *coll) Barrier() error {
 		putBuf(msg)
 	}
 	c.observe("barrier", 0)
+	recordCollective(c.obs, "barrier", rank, 0, start)
 	return nil
 }

@@ -3,6 +3,9 @@ package cluster
 import (
 	"fmt"
 	"sync"
+	"time"
+
+	"octgb/internal/obs"
 )
 
 // LocalGroup is an in-process communicator group: P ranks running as
@@ -25,6 +28,7 @@ type LocalGroup struct {
 	size int
 	algo Algorithm
 	hook CollectiveHook
+	obs  *obs.Observer
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -62,10 +66,20 @@ func NewLocalGroupAlgo(p int, hook CollectiveHook, algo Algorithm) *LocalGroup {
 	return g
 }
 
+// WithObserver attaches an observability sink: every rank's completed
+// collectives are recorded as {kind, rank} latency histograms, byte
+// counters and trace spans. Nil (the default) keeps the group
+// instrumentation-free. Returns g for chaining; must be called before Comm.
+func (g *LocalGroup) WithObserver(ob *obs.Observer) *LocalGroup {
+	g.obs = ob
+	return g
+}
+
 // Comm returns the communicator handle for one rank.
 func (g *LocalGroup) Comm(rank int) Comm {
 	c := &localComm{g: g, rank: rank}
 	c.coll.pw = c
+	c.coll.obs = g.obs
 	if rank == 0 {
 		// Hook on rank 0 only: once per collective, as documented.
 		c.coll.hook = g.hook
@@ -73,18 +87,13 @@ func (g *LocalGroup) Comm(rank int) Comm {
 	return c
 }
 
-// RunLocal runs fn on p in-process ranks with the topology-aware
-// collectives and returns the first error.
-func RunLocal(p int, hook CollectiveHook, fn func(c Comm) error) error {
-	return RunLocalAlgo(p, hook, Topo, fn)
-}
-
-// RunLocalAlgo is RunLocal with an explicit collective algorithm.
-func RunLocalAlgo(p int, hook CollectiveHook, algo Algorithm, fn func(c Comm) error) error {
-	g := NewLocalGroupAlgo(p, hook, algo)
-	errs := make([]error, p)
+// Run executes fn on every rank of the group concurrently and returns the
+// first error. It is the instance form of RunLocalAlgo, for callers that
+// configure the group (WithObserver) before running.
+func (g *LocalGroup) Run(fn func(c Comm) error) error {
+	errs := make([]error, g.size)
 	var wg sync.WaitGroup
-	for r := 0; r < p; r++ {
+	for r := 0; r < g.size; r++ {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
@@ -98,6 +107,17 @@ func RunLocalAlgo(p int, hook CollectiveHook, algo Algorithm, fn func(c Comm) er
 		}
 	}
 	return nil
+}
+
+// RunLocal runs fn on p in-process ranks with the topology-aware
+// collectives and returns the first error.
+func RunLocal(p int, hook CollectiveHook, fn func(c Comm) error) error {
+	return RunLocalAlgo(p, hook, Topo, fn)
+}
+
+// RunLocalAlgo is RunLocal with an explicit collective algorithm.
+func RunLocalAlgo(p int, hook CollectiveHook, algo Algorithm, fn func(c Comm) error) error {
+	return NewLocalGroupAlgo(p, hook, algo).Run(fn)
 }
 
 type localComm struct {
@@ -146,19 +166,30 @@ func (c *localComm) rendezvous(kind string, arg collArg, complete func(bufs []co
 	return nil
 }
 
+// starDone records one completed Star-algorithm collective into the
+// group's observer (the Topo path records inside coll); returns err.
+func (c *localComm) starDone(kind string, words int, start time.Time, err error) error {
+	if err == nil {
+		recordCollective(c.coll.obs, kind, c.rank, words, start)
+	}
+	return err
+}
+
 func (c *localComm) Barrier() error {
 	if c.g.algo == Topo {
 		return c.coll.Barrier()
 	}
-	return c.rendezvous("barrier", collArg{},
-		func([]collArg) []float64 { return nil }, nil)
+	start := time.Now()
+	return c.starDone("barrier", 0, start, c.rendezvous("barrier", collArg{},
+		func([]collArg) []float64 { return nil }, nil))
 }
 
 func (c *localComm) AllreduceSum(buf []float64) error {
 	if c.g.algo == Topo {
 		return c.coll.AllreduceSum(buf)
 	}
-	return c.rendezvous("allreduce", collArg{buf: buf},
+	start := time.Now()
+	return c.starDone("allreduce", len(buf), start, c.rendezvous("allreduce", collArg{buf: buf},
 		func(bufs []collArg) []float64 {
 			res := make([]float64, len(buf))
 			for _, b := range bufs {
@@ -168,14 +199,15 @@ func (c *localComm) AllreduceSum(buf []float64) error {
 			}
 			return res
 		},
-		func(result []float64, arg collArg) { copy(arg.buf, result) })
+		func(result []float64, arg collArg) { copy(arg.buf, result) }))
 }
 
 func (c *localComm) AllreduceMax(buf []float64) error {
 	if c.g.algo == Topo {
 		return c.coll.AllreduceMax(buf)
 	}
-	return c.rendezvous("allreducemax", collArg{buf: buf},
+	start := time.Now()
+	return c.starDone("allreducemax", len(buf), start, c.rendezvous("allreducemax", collArg{buf: buf},
 		func(bufs []collArg) []float64 {
 			res := append([]float64(nil), bufs[0].buf...)
 			for _, b := range bufs[1:] {
@@ -187,7 +219,7 @@ func (c *localComm) AllreduceMax(buf []float64) error {
 			}
 			return res
 		},
-		func(result []float64, arg collArg) { copy(arg.buf, result) })
+		func(result []float64, arg collArg) { copy(arg.buf, result) }))
 }
 
 func (c *localComm) Allgatherv(segment []float64, counts []int, out []float64) error {
@@ -201,7 +233,8 @@ func (c *localComm) Allgatherv(segment []float64, counts []int, out []float64) e
 	for _, n := range counts {
 		total += n
 	}
-	return c.rendezvous("allgatherv", collArg{buf: segment, counts: counts, out: out},
+	start := time.Now()
+	return c.starDone("allgatherv", total, start, c.rendezvous("allgatherv", collArg{buf: segment, counts: counts, out: out},
 		func(bufs []collArg) []float64 {
 			res := make([]float64, total)
 			at := 0
@@ -211,18 +244,19 @@ func (c *localComm) Allgatherv(segment []float64, counts []int, out []float64) e
 			}
 			return res
 		},
-		func(result []float64, arg collArg) { copy(arg.out, result) })
+		func(result []float64, arg collArg) { copy(arg.out, result) }))
 }
 
 func (c *localComm) Bcast(buf []float64, root int) error {
 	if c.g.algo == Topo {
 		return c.coll.Bcast(buf, root)
 	}
-	return c.rendezvous("bcast", collArg{buf: buf, root: root},
+	start := time.Now()
+	return c.starDone("bcast", len(buf), start, c.rendezvous("bcast", collArg{buf: buf, root: root},
 		func(bufs []collArg) []float64 {
 			return append([]float64(nil), bufs[root].buf...)
 		},
-		func(result []float64, arg collArg) { copy(arg.buf, result) })
+		func(result []float64, arg collArg) { copy(arg.buf, result) }))
 }
 
 // IAllreduceSum initiates a non-blocking allreduce. On the Star algorithm

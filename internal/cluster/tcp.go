@@ -14,6 +14,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"octgb/internal/obs"
 )
 
 func floatBits(v float64) uint64     { return math.Float64bits(v) }
@@ -89,6 +91,7 @@ type tcpConfig struct {
 	hook    CollectiveHook
 	timeout time.Duration
 	logf    func(format string, args ...any)
+	obs     *obs.Observer
 }
 
 func (c *tcpConfig) log(format string, args ...any) {
@@ -125,6 +128,15 @@ func WithCommTimeout(d time.Duration) TCPOption { return func(c *tcpConfig) { c.
 // default) keeps the transport silent.
 func WithLogger(logf func(format string, args ...any)) TCPOption {
 	return func(c *tcpConfig) { c.logf = logf }
+}
+
+// WithObserver attaches an observability sink to this rank's transport:
+// completed collectives record {kind, rank} latency histograms and byte
+// counters, heartbeat inter-arrival gaps record a per-peer histogram, and
+// Topo→Star degradations count into octgb_cluster_degradations_total. Nil
+// (the default) keeps the transport instrumentation-free.
+func WithObserver(ob *obs.Observer) TCPOption {
+	return func(c *tcpConfig) { c.obs = ob }
 }
 
 // dial retry policy: bounded exponential backoff with deterministic
@@ -206,6 +218,7 @@ func NewTCPRoot(ln net.Listener, size int, opts ...TCPOption) (Comm, error) {
 		}
 		rc.peer = rank
 		rc.timeout = cfg.timeout
+		rc.obs = cfg.obs
 		conns[rank] = rc
 		if cfg.mesh {
 			// Mesh handshake extension: the worker reports its private
@@ -224,7 +237,7 @@ func NewTCPRoot(ln net.Listener, size int, opts ...TCPOption) (Comm, error) {
 		}
 	}
 	if !cfg.mesh {
-		root := &tcpRoot{size: size, conns: conns, hook: cfg.hook, timeout: cfg.timeout}
+		root := &tcpRoot{size: size, conns: conns, hook: cfg.hook, timeout: cfg.timeout, obs: cfg.obs}
 		root.startHeartbeats()
 		return root, nil
 	}
@@ -260,7 +273,8 @@ func NewTCPRoot(ln net.Listener, size int, opts ...TCPOption) (Comm, error) {
 	}
 	if !meshOK {
 		cfg.log("cluster: degrading collectives Topo→Star: routing through the root")
-		root := &tcpRoot{size: size, conns: conns, hook: cfg.hook, timeout: cfg.timeout}
+		recordDegradation(cfg.obs)
+		root := &tcpRoot{size: size, conns: conns, hook: cfg.hook, timeout: cfg.timeout, obs: cfg.obs}
 		root.startHeartbeats()
 		return root, nil
 	}
@@ -295,6 +309,7 @@ func DialTCP(addr string, rank, size int, opts ...TCPOption) (Comm, error) {
 	rc := newRankConn(conn)
 	rc.peer = 0
 	rc.timeout = cfg.timeout
+	rc.obs = cfg.obs
 	var hello [8]byte
 	binary.LittleEndian.PutUint32(hello[:4], tcpMagic)
 	binary.LittleEndian.PutUint32(hello[4:], uint32(rank))
@@ -312,7 +327,7 @@ func DialTCP(addr string, rank, size int, opts ...TCPOption) (Comm, error) {
 		return nil, err
 	}
 	if !cfg.mesh {
-		w := &tcpWorker{rank: rank, size: size, conn: rc}
+		w := &tcpWorker{rank: rank, size: size, conn: rc, obs: cfg.obs}
 		rc.startHeartbeat()
 		return w, nil
 	}
@@ -347,6 +362,7 @@ func DialTCP(addr string, rank, size int, opts ...TCPOption) (Comm, error) {
 		prc := newRankConn(pc)
 		prc.peer = peer
 		prc.timeout = cfg.timeout
+		prc.obs = cfg.obs
 		binary.LittleEndian.PutUint32(hello[:4], tcpMagic)
 		binary.LittleEndian.PutUint32(hello[4:], uint32(rank))
 		if _, err := prc.w.Write(hello[:]); err != nil {
@@ -388,6 +404,7 @@ func DialTCP(addr string, rank, size int, opts ...TCPOption) (Comm, error) {
 			}
 			prc.peer = peer
 			prc.timeout = cfg.timeout
+			prc.obs = cfg.obs
 			conns[peer] = prc
 		}
 	}
@@ -414,7 +431,8 @@ func DialTCP(addr string, rank, size int, opts ...TCPOption) (Comm, error) {
 		}
 	}
 	cfg.log("cluster: rank %d: mesh unavailable, degrading collectives Topo→Star via root", rank)
-	w := &tcpWorker{rank: rank, size: size, conn: rc}
+	recordDegradation(cfg.obs)
+	w := &tcpWorker{rank: rank, size: size, conn: rc, obs: cfg.obs}
 	rc.startHeartbeat()
 	return w, nil
 }
@@ -436,9 +454,11 @@ type rankConn struct {
 	c    net.Conn
 	r    *bufio.Reader
 	peer int // rank at the other end, for failure attribution (-1 unknown)
+	obs  *obs.Observer
 
 	timeout  time.Duration // 0 = no deadlines, no heartbeats
 	lastSeen atomic.Int64  // unix nanos of the last frame received
+	lastHB   int64         // unix nanos of the last heartbeat frame, single-reader
 	hbStop   chan struct{}
 	hbOnce   sync.Once
 
@@ -578,7 +598,16 @@ func (rc *rankConn) readFrameOnce() (op byte, aux uint32, payload []float64, err
 	if got := crc32.Checksum(raw, crcTable); got != crc {
 		return 0, 0, nil, fmt.Errorf("cluster: frame from rank %d: CRC32C mismatch (got %08x, want %08x)", rc.peer, got, crc)
 	}
-	rc.lastSeen.Store(time.Now().UnixNano())
+	now := time.Now().UnixNano()
+	rc.lastSeen.Store(now)
+	if op == opHeartbeat {
+		// Heartbeat inter-arrival gap: the liveness health signal. lastHB
+		// is single-reader state (exactly one goroutine reads a rankConn).
+		if rc.lastHB != 0 {
+			recordHeartbeatGap(rc.obs, rc.peer, time.Duration(now-rc.lastHB))
+		}
+		rc.lastHB = now
+	}
 	payload = getBuf(n)
 	for i := range payload {
 		payload[i] = floatFromBits(binary.LittleEndian.Uint64(raw[8*i:]))
@@ -667,6 +696,7 @@ type tcpRoot struct {
 	size    int
 	conns   []*rankConn // index by rank; [0] nil
 	hook    CollectiveHook
+	obs     *obs.Observer
 	timeout time.Duration
 	mu      sync.Mutex
 }
@@ -713,6 +743,7 @@ func (c *tcpRoot) AliveRanks() []bool {
 func (c *tcpRoot) collect(op byte, own []float64, combine func(bufs [][]float64) [][]float64) ([]float64, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	start := time.Now()
 	bufs := make([][]float64, c.size)
 	bufs[0] = own
 	for r := 1; r < c.size; r++ {
@@ -732,6 +763,7 @@ func (c *tcpRoot) collect(op byte, own []float64, combine func(bufs [][]float64)
 	if c.hook != nil {
 		c.hook(kindOfOp(op), len(results[0]))
 	}
+	recordCollective(c.obs, kindOfOp(op), 0, len(results[0]), start)
 	return results[0], nil
 }
 
@@ -831,6 +863,7 @@ func (c *tcpRoot) IAllgatherv(segment []float64, counts []int, out []float64) Re
 type tcpWorker struct {
 	rank, size int
 	conn       *rankConn
+	obs        *obs.Observer
 	mu         sync.Mutex
 }
 
@@ -843,10 +876,14 @@ func (c *tcpWorker) Close() error { return c.conn.close() }
 func (c *tcpWorker) roundTrip(op byte, payload []float64) ([]float64, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	start := time.Now()
 	if err := c.conn.writeMsg(op, 0, payload); err != nil {
 		return nil, err
 	}
 	_, res, err := c.conn.readMsg(op)
+	if err == nil {
+		recordCollective(c.obs, kindOfOp(op), c.rank, len(res), start)
+	}
 	return res, err
 }
 
@@ -931,6 +968,7 @@ func newMeshComm(rank, size int, links []*rankConn, cfg tcpConfig) *meshComm {
 		mc.boxes[i] = newTagBox()
 	}
 	mc.coll.pw = mc
+	mc.coll.obs = cfg.obs
 	if rank == 0 {
 		mc.coll.hook = cfg.hook
 	}

@@ -21,6 +21,7 @@ import (
 
 	"octgb/internal/gb"
 	"octgb/internal/molecule"
+	"octgb/internal/obs"
 	"octgb/internal/surface"
 )
 
@@ -140,6 +141,13 @@ type Options struct {
 	// timers — liveness is the transport's job (heartbeats run at a third
 	// of this timeout, so slow compute phases do not trip it).
 	CommTimeout time.Duration
+	// Observe attaches an observability sink: per-rank phase latency
+	// histograms (octgb_engine_phase_seconds), scheduler activity counters
+	// (octgb_sched_*_total) and per-phase trace spans are recorded into it
+	// during real runs. Nil (the default) disables instrumentation entirely:
+	// the hot paths see only nil checks — no allocations, no atomics — and
+	// produce bitwise-identical energies (pinned by TestObserveOffParity).
+	Observe *obs.Observer
 	// WeightedStatic enables explicit work-weighted static balancing
 	// across ranks: leaf segments are cut by measured per-leaf work
 	// instead of leaf count. This implements the "explicit load

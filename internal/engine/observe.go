@@ -1,0 +1,100 @@
+package engine
+
+import (
+	"strconv"
+	"time"
+
+	"octgb/internal/obs"
+	"octgb/internal/sched"
+)
+
+// Metric names and help strings recorded by the engines (full inventory in
+// DESIGN.md §10).
+const (
+	phaseMetric = "octgb_engine_phase_seconds"
+	phaseHelp   = "Wall-clock time of one engine phase on one rank (Fig. 4 steps)."
+	schedHelp   = "Work-stealing scheduler activity, summed over completed runs."
+)
+
+// phaseObs carries the per-rank phase instrumentation of one engine run:
+// the four phase histograms (looked up once, so the per-lap cost is an
+// Observe) and the root span the per-phase spans parent under. The zero
+// value — produced for a nil Observer — is fully inert: all histograms are
+// nil (Observe is a no-op) and span recording is skipped, so the
+// observability-off path allocates nothing.
+type phaseObs struct {
+	ob                     *obs.Observer
+	rank                   int
+	root                   uint64
+	start                  time.Time
+	born, push, epol, comm *obs.Histogram
+}
+
+// newPhaseObs resolves the phase histograms for one rank and opens the
+// run's root span.
+func newPhaseObs(ob *obs.Observer, rank int) phaseObs {
+	po := phaseObs{ob: ob, rank: rank}
+	if ob == nil {
+		return po
+	}
+	po.start = time.Now()
+	po.root = ob.NextID()
+	rl := `rank="` + strconv.Itoa(rank) + `"`
+	po.born = ob.Histogram(phaseMetric, `phase="born",`+rl, phaseHelp)
+	po.push = ob.Histogram(phaseMetric, `phase="push",`+rl, phaseHelp)
+	po.epol = ob.Histogram(phaseMetric, `phase="epol",`+rl, phaseHelp)
+	po.comm = ob.Histogram(phaseMetric, `phase="comm",`+rl, phaseHelp)
+	return po
+}
+
+// record stores one completed phase segment: a histogram observation and a
+// child span. name must be a constant ("engine.born", …) so the nil path
+// performs no string building.
+func (po *phaseObs) record(h *obs.Histogram, name string, start time.Time, d time.Duration) {
+	h.Observe(d)
+	if po.ob != nil {
+		po.ob.Trace.RecordID(po.ob.NextID(), name, po.root, po.rank, start, d)
+	}
+}
+
+// finish closes the run's root span.
+func (po *phaseObs) finish(name string) {
+	if po.ob == nil {
+		return
+	}
+	po.ob.Trace.RecordID(po.root, name, 0, po.rank, po.start, time.Since(po.start))
+}
+
+// observeBuild records the octree-construction phase (step 1), which runs
+// once per problem rather than per rank.
+func observeBuild(ob *obs.Observer, start time.Time, d time.Duration) {
+	if ob == nil {
+		return
+	}
+	ob.Histogram(phaseMetric, `phase="build",rank="0"`, phaseHelp).Observe(d)
+	ob.Record("engine.build", 0, 0, start, d)
+}
+
+// observePhase records one self-contained phase (histogram + root-level
+// span) — the shared-memory engine's form, where phases do not nest under
+// a per-rank root span. No-op on a nil observer.
+func observePhase(ob *obs.Observer, phase, span string, rank int, start time.Time, d time.Duration) {
+	if ob == nil {
+		return
+	}
+	ob.Histogram(phaseMetric, `phase="`+phase+`",rank="`+strconv.Itoa(rank)+`"`, phaseHelp).Observe(d)
+	ob.Record(span, 0, rank, start, d)
+}
+
+// recordSchedStats adds one run's scheduler activity to the global
+// counters. Called from the public entry points only (RunReal, RunRank,
+// Prepare, EvalEpol) so composed paths are not double counted.
+func recordSchedStats(ob *obs.Observer, s sched.Stats) {
+	if ob == nil {
+		return
+	}
+	ob.Counter("octgb_sched_executed_total", "", schedHelp).Add(s.Executed)
+	ob.Counter("octgb_sched_steals_total", "", schedHelp).Add(s.Steals)
+	ob.Counter("octgb_sched_failed_steals_total", "", schedHelp).Add(s.FailedSteals)
+	ob.Counter("octgb_sched_parks_total", "", schedHelp).Add(s.Parks)
+}

@@ -48,7 +48,9 @@ func Prepare(pr *Problem, o Options) (*Prepared, error) {
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	return prepareCilk(pr, o), nil
+	p := prepareCilk(pr, o)
+	recordSchedStats(o.Observe, p.BornSched)
+	return p, nil
 }
 
 // NewProblemFromSurface bundles a molecule with an externally produced
@@ -65,9 +67,12 @@ func NewProblemFromSurface(mol *molecule.Molecule, qpts []surface.QPoint) *Probl
 // identical code.
 func prepareCilk(pr *Problem, o Options) *Prepared {
 	bc := core.BornConfig{Eps: o.BornEps, CriterionPower: o.CriterionPower, LeafSize: o.LeafSize}
+	buildStart := time.Now()
 	bs := core.NewBornSolver(pr.Mol, pr.QPts, bc)
+	observeBuild(o.Observe, buildStart, time.Since(buildStart))
 	pool := sched.NewPool(o.Threads)
 	n := pr.Mol.N()
+	bornStart := time.Now()
 
 	p := &Prepared{Pr: pr, bs: bs, opts: o}
 	sNode, sAtom := bs.NewAccumulators()
@@ -101,9 +106,12 @@ func prepareCilk(pr *Problem, o Options) *Prepared {
 			p.BornStats.Add(statsW[w])
 		}
 	}
+	observePhase(o.Observe, "born", "engine.born", 0, bornStart, time.Since(bornStart))
+	pushStart := time.Now()
 	rTree := make([]float64, n)
 	bs.PushIntegrals(sNode, sAtom, 0, int32(n), rTree)
 	p.BornRadii = bs.RadiiToOriginal(rTree)
+	observePhase(o.Observe, "push", "engine.push", 0, pushStart, time.Since(pushStart))
 	return p
 }
 
@@ -125,12 +133,21 @@ func (p *Prepared) EvalEpol(o Options) (RealReport, error) {
 	start := time.Now()
 	rep := p.evalEpol(o)
 	rep.Wall = time.Since(start)
+	// Record only this evaluation's scheduler activity: rep.Sched echoes
+	// the prepare-phase stats (recorded by Prepare) for report-shape parity.
+	recordSchedStats(o.Observe, sched.Stats{
+		Executed:     rep.Sched.Executed - p.BornSched.Executed,
+		Steals:       rep.Sched.Steals - p.BornSched.Steals,
+		FailedSteals: rep.Sched.FailedSteals - p.BornSched.FailedSteals,
+		Parks:        rep.Sched.Parks - p.BornSched.Parks,
+	})
 	return rep, nil
 }
 
 // evalEpol is the E_pol half of the shared-memory engine (defaults already
 // resolved).
 func (p *Prepared) evalEpol(o Options) RealReport {
+	epolStart := time.Now()
 	rep := RealReport{
 		BornRadii: p.BornRadii,
 		BornStats: p.BornStats,
@@ -160,11 +177,9 @@ func (p *Prepared) evalEpol(o Options) RealReport {
 		}
 	}
 	rep.Energy = raw * core.EnergyScale()
-	rep.Sched = sched.Stats{
-		Executed:     p.BornSched.Executed + s2.Executed,
-		Steals:       p.BornSched.Steals + s2.Steals,
-		FailedSteals: p.BornSched.FailedSteals + s2.FailedSteals,
-	}
+	rep.Sched = p.BornSched
+	rep.Sched.Add(s2)
+	observePhase(o.Observe, "epol", "engine.epol", 0, epolStart, time.Since(epolStart))
 	return rep
 }
 

@@ -7,6 +7,7 @@ import (
 	"octgb/internal/cluster"
 	"octgb/internal/core"
 	"octgb/internal/gb"
+	"octgb/internal/obs"
 	"octgb/internal/partition"
 	"octgb/internal/sched"
 )
@@ -67,6 +68,7 @@ func RunReal(pr *Problem, k Kind, o Options) (RealReport, error) {
 		rep = r
 	}
 	rep.Wall = time.Since(start)
+	recordSchedStats(o.Observe, rep.Sched)
 	return rep, nil
 }
 
@@ -200,8 +202,14 @@ func RunRank(c cluster.Comm, pr *Problem, o Options) (RealReport, error) {
 	o = o.withDefaults(OctMPICilk)
 	o.Ranks = c.Size()
 	bc := core.BornConfig{Eps: o.BornEps, CriterionPower: o.CriterionPower, LeafSize: o.LeafSize}
+	buildStart := time.Now()
 	bs := core.NewBornSolver(pr.Mol, pr.QPts, bc)
-	return runRank(c, bs, pr, o)
+	observeBuild(o.Observe, buildStart, time.Since(buildStart))
+	rep, err := runRank(c, bs, pr, o)
+	if err == nil {
+		recordSchedStats(o.Observe, rep.Sched)
+	}
+	return rep, err
 }
 
 // runDistributedReal executes OCT_MPI (Threads == 1) or OCT_MPI+CILK over
@@ -210,11 +218,14 @@ func runDistributedReal(pr *Problem, o Options) (RealReport, error) {
 	// Step 1: octrees. Built once; immutable thereafter (in-process ranks
 	// share them, see RunReal doc).
 	bc := core.BornConfig{Eps: o.BornEps, CriterionPower: o.CriterionPower, LeafSize: o.LeafSize}
+	buildStart := time.Now()
 	bs := core.NewBornSolver(pr.Mol, pr.QPts, bc)
+	observeBuild(o.Observe, buildStart, time.Since(buildStart))
 	P := o.Ranks
 
 	results := make([]RealReport, P)
-	err := cluster.RunLocalAlgo(P, nil, collectiveAlgo(o), func(c cluster.Comm) error {
+	g := cluster.NewLocalGroupAlgo(P, nil, collectiveAlgo(o)).WithObserver(o.Observe)
+	err := g.Run(func(c cluster.Comm) error {
 		rep, err := runRank(c, bs, pr, o)
 		if err != nil {
 			return err
@@ -231,9 +242,7 @@ func runDistributedReal(pr *Problem, o Options) (RealReport, error) {
 	for _, r := range results[1:] {
 		out.BornStats.Add(r.BornStats)
 		out.EpolStats.Add(r.EpolStats)
-		out.Sched.Executed += r.Sched.Executed
-		out.Sched.Steals += r.Sched.Steals
-		out.Sched.FailedSteals += r.Sched.FailedSteals
+		out.Sched.Add(r.Sched)
 	}
 	if out.BornRadii == nil {
 		return out, fmt.Errorf("engine: no result produced")
@@ -248,10 +257,17 @@ func runRank(c cluster.Comm, bs *core.BornSolver, pr *Problem, o Options) (RealR
 	rank := c.Rank()
 	pool := sched.NewPool(o.Threads)
 	var rep RealReport
+	po := newPhaseObs(o.Observe, rank)
 	mark := time.Now()
-	lap := func(dst *time.Duration) {
+	// lap closes one phase segment: the duration since the previous lap is
+	// added to dst and — with an observer attached — recorded as a phase
+	// histogram observation and a child span of the rank's root span. name
+	// is always a constant, so the observability-off path builds no strings.
+	lap := func(dst *time.Duration, h *obs.Histogram, name string) {
 		now := time.Now()
-		*dst += now.Sub(mark)
+		d := now.Sub(mark)
+		*dst += d
+		po.record(h, name, mark, d)
 		mark = now
 	}
 
@@ -301,7 +317,7 @@ func runRank(c cluster.Comm, bs *core.BornSolver, pr *Problem, o Options) (RealR
 		}
 	}
 
-	lap(&rep.Phases.Born)
+	lap(&rep.Phases.Born, po.born, "engine.born")
 
 	// Step 3: gather partial integrals (MPI_Allreduce). With a non-blocking
 	// transport both reductions are initiated before either is waited on,
@@ -326,13 +342,13 @@ func runRank(c cluster.Comm, bs *core.BornSolver, pr *Problem, o Options) (RealR
 			return rep, err
 		}
 	}
-	lap(&rep.Phases.Comm)
+	lap(&rep.Phases.Comm, po.comm, "engine.comm")
 
 	// Step 4: Born radii for this rank's atom segment.
 	aseg := partition.ForRank(n, P, rank)
 	rTree := make([]float64, n)
 	bs.PushIntegrals(sNode, sAtom, int32(aseg.Lo), int32(aseg.Hi), rTree)
-	lap(&rep.Phases.Push)
+	lap(&rep.Phases.Push, po.push, "engine.push")
 
 	// Step 5: gather Born radii of the other segments — overlapped, when
 	// the transport is non-blocking, with step 6's list construction: the
@@ -351,7 +367,7 @@ func runRank(c cluster.Comm, bs *core.BornSolver, pr *Problem, o Options) (RealR
 	if useTopo && useFlat {
 		req := nb.IAllgatherv(rTree[aseg.Lo:aseg.Hi], counts, rFull)
 		skel = core.BuildEpolSkeletonInto(new(core.InteractionList), bs.TA, core.EpolSeparation(ecfg), lseg.Lo, lseg.Hi)
-		lap(&rep.Phases.Epol)
+		lap(&rep.Phases.Epol, po.epol, "engine.epol")
 		if err := req.Wait(); err != nil {
 			return rep, err
 		}
@@ -359,7 +375,7 @@ func runRank(c cluster.Comm, bs *core.BornSolver, pr *Problem, o Options) (RealR
 		return rep, err
 	}
 	rep.BornRadii = bs.RadiiToOriginal(rFull)
-	lap(&rep.Phases.Comm)
+	lap(&rep.Phases.Comm, po.comm, "engine.comm")
 
 	// Step 6: partial energy for this rank's leaf segment.
 	es := core.NewEpolSolver(bs.TA, pr.Charges, rep.BornRadii, ecfg)
@@ -378,9 +394,7 @@ func runRank(c cluster.Comm, bs *core.BornSolver, pr *Problem, o Options) (RealR
 		} else {
 			var st sched.Stats
 			raw, st = evalEpolListParallel(es, list, pool)
-			rep.Sched.Executed += st.Executed
-			rep.Sched.Steals += st.Steals
-			rep.Sched.FailedSteals += st.FailedSteals
+			rep.Sched.Add(st)
 		}
 	case o.Threads == 1:
 		for l := lseg.Lo; l < lseg.Hi; l++ {
@@ -402,19 +416,18 @@ func runRank(c cluster.Comm, bs *core.BornSolver, pr *Problem, o Options) (RealR
 			raw += partial[w]
 			rep.EpolStats.Add(statsW[w])
 		}
-		rep.Sched.Executed += st.Executed
-		rep.Sched.Steals += st.Steals
-		rep.Sched.FailedSteals += st.FailedSteals
+		rep.Sched.Add(st)
 	}
 
-	lap(&rep.Phases.Epol)
+	lap(&rep.Phases.Epol, po.epol, "engine.epol")
 
 	// Step 7: accumulate partial energies.
 	ebuf := []float64{raw}
 	if err := c.AllreduceSum(ebuf); err != nil {
 		return rep, err
 	}
-	lap(&rep.Phases.Comm)
+	lap(&rep.Phases.Comm, po.comm, "engine.comm")
 	rep.Energy = ebuf[0] * core.EnergyScale()
+	po.finish("engine.rank")
 	return rep, nil
 }

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// numFiniteBuckets is the number of finite histogram buckets. Boundaries
+// are powers of two in nanoseconds starting at 1.024µs: bucket i covers
+// (2^(9+i), 2^(10+i)] ns, so the finite range spans 1.024µs … ~37min —
+// wide enough for a near-field kernel slice at the bottom and a full
+// cluster run at the top. Everything beyond the last finite boundary lands
+// in the +Inf bucket.
+const numFiniteBuckets = 32
+
+// bucketBound returns the inclusive upper boundary of finite bucket i in
+// nanoseconds.
+func bucketBound(i int) int64 { return 1 << (10 + uint(i)) }
+
+// bucketIndex maps a duration in nanoseconds onto its bucket: the smallest
+// i with ns ≤ bucketBound(i), or numFiniteBuckets for the +Inf bucket.
+// Non-positive observations count into bucket 0 (a zero-duration event is
+// a real event; clocks can also stall).
+func bucketIndex(ns int64) int {
+	if ns <= 1<<10 {
+		return 0
+	}
+	idx := bits.Len64(uint64(ns-1)) - 10
+	if idx > numFiniteBuckets {
+		return numFiniteBuckets
+	}
+	return idx
+}
+
+// Histogram is a lock-free fixed-bucket latency histogram: Observe is a
+// bucket lookup (one Len64) plus three atomic adds, with no locks and no
+// allocation, so it can sit on paths that run thousands of times per
+// second. The bucket layout is fixed at compile time (see bucketBound), so
+// two histograms are always mergeable and the Prometheus rendering needs
+// no per-instance boundary bookkeeping.
+//
+// A nil *Histogram is valid: Observe and ObserveSince are no-ops, which is
+// what makes instrumented call sites unconditional.
+type Histogram struct {
+	name, labels, help string
+
+	count   atomic.Uint64
+	sumNS   atomic.Int64
+	buckets [numFiniteBuckets + 1]atomic.Uint64 // per-bucket (not cumulative); last is +Inf
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.buckets[bucketIndex(d.Nanoseconds())].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(d.Nanoseconds())
+}
+
+// ObserveSince records time elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(start))
+}
+
+// HistSnapshot is a point-in-time copy of a histogram. Under concurrent
+// Observe the copy is not a single atomic cut — counts may be off by the
+// handful of observations in flight — which is the standard (and accepted)
+// behavior of scrape-based metrics.
+type HistSnapshot struct {
+	// Count is the total number of observations.
+	Count uint64
+	// Sum is the sum of all observed durations.
+	Sum time.Duration
+	// Buckets[i] is the number of observations in finite bucket i
+	// (boundaries per bucketBound); Buckets[numFiniteBuckets] is +Inf.
+	Buckets [numFiniteBuckets + 1]uint64
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	s.Sum = time.Duration(h.sumNS.Load())
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q ≤ 1) of the
+// recorded distribution: the upper boundary of the bucket containing the
+// ⌈q·count⌉-th observation. Resolution is the bucket width (a factor of 2);
+// observations beyond the finite range report the largest finite boundary.
+// Returns 0 when the histogram is empty.
+func (s HistSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 || q <= 0 {
+		return 0
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank == 0 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var cum uint64
+	for i, c := range s.Buckets {
+		cum += c
+		if cum >= rank {
+			if i >= numFiniteBuckets {
+				return time.Duration(bucketBound(numFiniteBuckets - 1))
+			}
+			return time.Duration(bucketBound(i))
+		}
+	}
+	return time.Duration(bucketBound(numFiniteBuckets - 1))
+}
+
+// Mean returns the mean observed duration (0 when empty).
+func (s HistSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}

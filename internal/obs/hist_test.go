@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketIndexBoundaries(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int
+	}{
+		{-5, 0},                         // negative clamps to first bucket
+		{0, 0},                          // zero duration is a real event
+		{1, 0},                          //
+		{1023, 0},                       //
+		{1024, 0},                       // == bucketBound(0), inclusive upper bound
+		{1025, 1},                       // first value past bucket 0
+		{2048, 1},                       // == bucketBound(1)
+		{2049, 2},                       //
+		{4096, 2},                       // == bucketBound(2)
+		{1 << 41, numFiniteBuckets - 1}, // last finite boundary (~37min)
+		{1<<41 + 1, numFiniteBuckets},   // beyond finite range → +Inf
+		{1 << 62, numFiniteBuckets},     // far beyond → +Inf
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.ns); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+	// Invariant: every finite index i satisfies
+	// bucketBound(i-1) < ns ≤ bucketBound(i).
+	for i := 0; i < numFiniteBuckets; i++ {
+		b := bucketBound(i)
+		if got := bucketIndex(b); got != i {
+			t.Errorf("bucketIndex(bucketBound(%d)=%d) = %d", i, b, got)
+		}
+		if i < numFiniteBuckets-1 {
+			if got := bucketIndex(b + 1); got != i+1 {
+				t.Errorf("bucketIndex(bucketBound(%d)+1) = %d, want %d", i, got, i+1)
+			}
+		}
+	}
+}
+
+func TestHistogramObserveAndSnapshot(t *testing.T) {
+	var h Histogram
+	h.Observe(500 * time.Nanosecond) // bucket 0
+	h.Observe(time.Microsecond)      // 1000ns → bucket 0
+	h.Observe(3 * time.Microsecond)  // 3000ns → bucket 2 (2048 < 3000 ≤ 4096)
+	h.Observe(time.Hour)             // +Inf
+
+	s := h.Snapshot()
+	if s.Count != 4 {
+		t.Fatalf("Count = %d, want 4", s.Count)
+	}
+	wantSum := 500*time.Nanosecond + time.Microsecond + 3*time.Microsecond + time.Hour
+	if s.Sum != wantSum {
+		t.Fatalf("Sum = %v, want %v", s.Sum, wantSum)
+	}
+	if s.Buckets[0] != 2 || s.Buckets[2] != 1 || s.Buckets[numFiniteBuckets] != 1 {
+		t.Fatalf("bucket placement wrong: %v", s.Buckets)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	// 90 fast observations, 10 slow ones: p50 lands in the fast bucket,
+	// p95/p99 in the slow one.
+	for i := 0; i < 90; i++ {
+		h.Observe(10 * time.Microsecond) // bucket for 10_000ns: bound 16384ns
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(10 * time.Millisecond) // bound 16_777_216ns
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(0.50); got != time.Duration(16384) {
+		t.Errorf("p50 = %v, want 16.384µs", got)
+	}
+	if got := s.Quantile(0.95); got != time.Duration(16777216) {
+		t.Errorf("p95 = %v, want ~16.78ms", got)
+	}
+	if got := s.Quantile(0.99); got != time.Duration(16777216) {
+		t.Errorf("p99 = %v, want ~16.78ms", got)
+	}
+	if got := s.Quantile(1.0); got != time.Duration(16777216) {
+		t.Errorf("p100 = %v, want ~16.78ms", got)
+	}
+
+	var empty HistSnapshot
+	if empty.Quantile(0.5) != 0 {
+		t.Error("empty snapshot quantile should be 0")
+	}
+
+	// Observations beyond the finite range clamp to the last finite bound.
+	var inf Histogram
+	inf.Observe(time.Hour)
+	if got := inf.Snapshot().Quantile(0.5); got != time.Duration(bucketBound(numFiniteBuckets-1)) {
+		t.Errorf("+Inf quantile = %v, want last finite bound", got)
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	var h Histogram
+	h.Observe(2 * time.Millisecond)
+	h.Observe(4 * time.Millisecond)
+	if got := h.Snapshot().Mean(); got != 3*time.Millisecond {
+		t.Errorf("Mean = %v, want 3ms", got)
+	}
+	var empty HistSnapshot
+	if empty.Mean() != 0 {
+		t.Error("empty mean should be 0")
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	var h Histogram
+	const workers = 8
+	const perWorker = 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(time.Duration(w*1000+i) * time.Nanosecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*perWorker {
+		t.Fatalf("Count = %d, want %d", s.Count, workers*perWorker)
+	}
+	var bucketTotal uint64
+	for _, b := range s.Buckets {
+		bucketTotal += b
+	}
+	if bucketTotal != s.Count {
+		t.Fatalf("bucket total %d != count %d", bucketTotal, s.Count)
+	}
+}
+
+func TestNilHistogramSafe(t *testing.T) {
+	var h *Histogram
+	h.Observe(time.Second) // must not panic
+	h.ObserveSince(time.Now())
+	s := h.Snapshot()
+	if s.Count != 0 {
+		t.Error("nil histogram snapshot should be empty")
+	}
+}

@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one completed trace interval. Times are offsets from the
+// tracer's epoch, taken from Go's monotonic clock (time.Time carries a
+// monotonic reading; Sub of two of them is immune to wall-clock steps).
+type Span struct {
+	// ID is unique within the tracer (monotonically minted, never 0).
+	ID uint64
+	// Parent is the enclosing span's ID (0 = root).
+	Parent uint64
+	// Name identifies the operation ("engine.born", "serve.energy", …).
+	Name string
+	// TID is the logical thread/track the span renders on in a trace
+	// viewer — the instrumented layers use the rank or worker index.
+	TID int
+	// Start is the offset from the tracer epoch.
+	Start time.Duration
+	// Dur is the span length.
+	Dur time.Duration
+}
+
+// Tracer records spans into a fixed-capacity in-memory ring buffer: the
+// last capacity completed spans are retained, older ones are overwritten.
+// Recording takes a short mutex-guarded critical section (one slot write);
+// spans are recorded at phase/request granularity, not inside numeric
+// kernels, so contention is negligible. A nil *Tracer is valid and records
+// nothing.
+type Tracer struct {
+	epoch time.Time
+	seq   atomic.Uint64 // span ID mint
+
+	mu   sync.Mutex
+	ring []Span
+	n    uint64 // spans ever recorded; ring slot = (n-1) % cap
+}
+
+// NewTracer returns a tracer retaining the last capacity spans
+// (capacity ≤ 0 selects DefaultTraceCapacity).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{epoch: time.Now(), ring: make([]Span, capacity)}
+}
+
+// NextID mints a fresh span ID (never 0) without recording.
+func (t *Tracer) NextID() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.seq.Add(1)
+}
+
+// Record stores a completed span measured by the caller and returns its ID.
+func (t *Tracer) Record(name string, parent uint64, tid int, start time.Time, d time.Duration) uint64 {
+	if t == nil {
+		return 0
+	}
+	id := t.seq.Add(1)
+	t.RecordID(id, name, parent, tid, start, d)
+	return id
+}
+
+// RecordID stores a completed span under a pre-minted ID (NextID) — how a
+// root span is written after its children, which referenced the ID while
+// the root was still open.
+func (t *Tracer) RecordID(id uint64, name string, parent uint64, tid int, start time.Time, d time.Duration) {
+	if t == nil {
+		return
+	}
+	sp := Span{ID: id, Parent: parent, Name: name, TID: tid, Start: start.Sub(t.epoch), Dur: d}
+	t.mu.Lock()
+	t.ring[t.n%uint64(len(t.ring))] = sp
+	t.n++
+	t.mu.Unlock()
+}
+
+// Live is an open span begun with Begin; End completes and records it. A
+// nil *Live (from a nil Tracer/Observer) is safe to use: ID is 0 and End
+// does nothing.
+type Live struct {
+	t      *Tracer
+	id     uint64
+	parent uint64
+	tid    int
+	name   string
+	start  time.Time
+}
+
+// Begin opens a span now; it is recorded when End is called.
+func (t *Tracer) Begin(name string, parent uint64, tid int) *Live {
+	if t == nil {
+		return nil
+	}
+	return &Live{t: t, id: t.seq.Add(1), parent: parent, tid: tid, name: name, start: time.Now()}
+}
+
+// ID returns the open span's ID (0 on nil), usable as a child's parent.
+func (l *Live) ID() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.id
+}
+
+// End completes the span and records it.
+func (l *Live) End() {
+	if l == nil {
+		return
+	}
+	l.t.RecordID(l.id, l.name, l.parent, l.tid, l.start, time.Since(l.start))
+}
+
+// Spans returns the retained spans, oldest first.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	capn := uint64(len(t.ring))
+	count := t.n
+	if count > capn {
+		count = capn
+	}
+	out := make([]Span, 0, count)
+	start := t.n - count
+	for i := uint64(0); i < count; i++ {
+		out = append(out, t.ring[(start+i)%capn])
+	}
+	return out
+}
+
+// traceEvent is one Chrome trace_event object ("X" = complete event; ts and
+// dur are microseconds). The parent span ID travels in args.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteTrace dumps the retained spans as Chrome trace_event JSON (the
+// {"traceEvents": [...]} form). Save it to a file and load it in
+// chrome://tracing or https://ui.perfetto.dev to see the per-rank /
+// per-request phase breakdown on a timeline.
+func (t *Tracer) WriteTrace(w io.Writer) error {
+	spans := t.Spans()
+	events := make([]traceEvent, 0, len(spans))
+	for _, sp := range spans {
+		ev := traceEvent{
+			Name: sp.Name,
+			Ph:   "X",
+			TS:   float64(sp.Start.Nanoseconds()) / 1e3,
+			Dur:  float64(sp.Dur.Nanoseconds()) / 1e3,
+			PID:  1,
+			TID:  sp.TID,
+			Args: map[string]any{"id": sp.ID},
+		}
+		if sp.Parent != 0 {
+			ev.Args["parent"] = sp.Parent
+		}
+		events = append(events, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": events})
+}

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestTracerRingWraparound(t *testing.T) {
+	tr := NewTracer(8)
+	base := time.Now()
+	for i := 0; i < 20; i++ {
+		tr.Record("span", 0, i, base.Add(time.Duration(i)*time.Millisecond), time.Millisecond)
+	}
+	spans := tr.Spans()
+	if len(spans) != 8 {
+		t.Fatalf("retained %d spans, want 8", len(spans))
+	}
+	// The last 8 recorded spans (TIDs 12..19), oldest first.
+	for i, sp := range spans {
+		if sp.TID != 12+i {
+			t.Errorf("spans[%d].TID = %d, want %d", i, sp.TID, 12+i)
+		}
+	}
+	// IDs are monotone within the retained window.
+	for i := 1; i < len(spans); i++ {
+		if spans[i].ID <= spans[i-1].ID {
+			t.Errorf("span IDs not monotone: %d then %d", spans[i-1].ID, spans[i].ID)
+		}
+	}
+}
+
+func TestTracerUnderCapacity(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Record("a", 0, 1, time.Now(), time.Millisecond)
+	tr.Record("b", 0, 2, time.Now(), time.Millisecond)
+	spans := tr.Spans()
+	if len(spans) != 2 || spans[0].Name != "a" || spans[1].Name != "b" {
+		t.Fatalf("unexpected spans: %+v", spans)
+	}
+}
+
+func TestLiveSpanParenting(t *testing.T) {
+	tr := NewTracer(8)
+	root := tr.Begin("root", 0, 0)
+	child := tr.Begin("child", root.ID(), 0)
+	child.End()
+	root.End()
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	// child recorded first (ended first), root second.
+	if spans[0].Name != "child" || spans[1].Name != "root" {
+		t.Fatalf("span order: %q, %q", spans[0].Name, spans[1].Name)
+	}
+	if spans[0].Parent != spans[1].ID {
+		t.Errorf("child.Parent = %d, want root ID %d", spans[0].Parent, spans[1].ID)
+	}
+}
+
+func TestWriteTraceJSON(t *testing.T) {
+	tr := NewTracer(8)
+	root := tr.Begin("serve.energy", 0, 3)
+	tr.Record("engine.born", root.ID(), 3, time.Now(), 2*time.Millisecond)
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace dump is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("got %d events, want 2", len(doc.TraceEvents))
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event %q phase = %q, want X", ev.Name, ev.Ph)
+		}
+		if ev.TID != 3 {
+			t.Errorf("event %q tid = %d, want 3", ev.Name, ev.TID)
+		}
+		if ev.Args["id"] == nil {
+			t.Errorf("event %q missing args.id", ev.Name)
+		}
+	}
+	// engine.born carries its parent reference.
+	if doc.TraceEvents[0].Name != "engine.born" || doc.TraceEvents[0].Args["parent"] == nil {
+		t.Errorf("child event missing parent arg: %+v", doc.TraceEvents[0])
+	}
+}
+
+func TestNilTracerAndObserverSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.NextID() != 0 {
+		t.Error("nil tracer NextID should be 0")
+	}
+	tr.Record("x", 0, 0, time.Now(), time.Second)
+	l := tr.Begin("x", 0, 0)
+	if l.ID() != 0 {
+		t.Error("nil live span ID should be 0")
+	}
+	l.End() // no panic
+	if tr.Spans() != nil {
+		t.Error("nil tracer Spans should be nil")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	var o *Observer
+	if o.Histogram("x", "", "") != nil {
+		t.Error("nil observer Histogram should be nil")
+	}
+	if o.Counter("x", "", "") != nil {
+		t.Error("nil observer Counter should be nil")
+	}
+	o.Begin("x", 0, 0).End()
+	if o.Record("x", 0, 0, time.Now(), time.Second) != 0 {
+		t.Error("nil observer Record should be 0")
+	}
+	if o.NextID() != 0 {
+		t.Error("nil observer NextID should be 0")
+	}
+}

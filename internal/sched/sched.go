@@ -31,6 +31,16 @@ type Stats struct {
 	Executed     int64 // tasks executed
 	Steals       int64 // successful steals
 	FailedSteals int64 // steal attempts that found an empty deque or lost a race
+	Parks        int64 // idle backoffs (Gosched yields after a dry spin burst)
+}
+
+// Add accumulates other into s — the aggregation the engines use when
+// combining per-rank or per-phase scheduler stats.
+func (s *Stats) Add(other Stats) {
+	s.Executed += other.Executed
+	s.Steals += other.Steals
+	s.FailedSteals += other.FailedSteals
+	s.Parks += other.Parks
 }
 
 // ringInit is the initial per-worker ring capacity (a power of two). The
@@ -272,6 +282,7 @@ func (pl *Pool) Run(root Task) Stats {
 		Executed:     atomic.LoadInt64(&pl.stats.Executed),
 		Steals:       atomic.LoadInt64(&pl.stats.Steals),
 		FailedSteals: atomic.LoadInt64(&pl.stats.FailedSteals),
+		Parks:        atomic.LoadInt64(&pl.stats.Parks),
 	}
 }
 
@@ -305,6 +316,7 @@ func (pl *Pool) workerLoop(w int) {
 		}
 		idleSpins++
 		if idleSpins > 64 {
+			atomic.AddInt64(&pl.stats.Parks, 1)
 			runtime.Gosched()
 		}
 	}

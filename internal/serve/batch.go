@@ -17,6 +17,7 @@ type sweepWaiter struct {
 	reqID    string
 	poses    []geom.Rigid
 	queuedAt time.Time
+	span     uint64            // request root span ID (0 with observability off)
 	out      chan sweepOutcome // buffered; the batch runner never blocks on it
 }
 
@@ -45,6 +46,7 @@ type pendingSweep struct {
 	lig     *molecule.Molecule
 	opts    evalOpts
 	exact   bool
+	timer   *time.Timer // window flush; stopped when Shutdown flushes early
 	waiters []*sweepWaiter
 }
 
@@ -69,10 +71,31 @@ func (s *Server) enqueueSweep(rec, lig *molecule.Molecule, o evalOpts, exact boo
 	if !ok {
 		b = &pendingSweep{key: key, rec: rec, lig: lig, opts: o, exact: exact}
 		s.pending[key] = b
-		time.AfterFunc(s.cfg.BatchWindow, func() { s.flushSweep(key) })
+		b.timer = time.AfterFunc(s.cfg.BatchWindow, func() { s.flushSweep(key) })
 	}
 	b.waiters = append(b.waiters, wt)
 	s.pendingMu.Unlock()
+}
+
+// flushAllPending closes every open batch window immediately — the
+// Shutdown path, where waiting out BatchWindow would stall the drain (and,
+// with a long window, leave armed timers firing after the workers are
+// gone). Stopping the timer first makes the flush single-shot in the
+// common case; a timer that already fired is harmless because flushSweep
+// is idempotent (the second call finds no pending entry).
+func (s *Server) flushAllPending() {
+	s.pendingMu.Lock()
+	keys := make([]string, 0, len(s.pending))
+	for key, b := range s.pending {
+		if b.timer != nil {
+			b.timer.Stop()
+		}
+		keys = append(keys, key)
+	}
+	s.pendingMu.Unlock()
+	for _, key := range keys {
+		s.flushSweep(key)
+	}
 }
 
 // flushSweep closes the batch window for key and hands the batch to the
@@ -187,6 +210,7 @@ func (s *Server) runSweep(b *pendingSweep) {
 		}
 		wt.out <- out
 	}
+	s.sobs.stage(s.sobs.batch, "serve.batch", 0, started, time.Since(started))
 }
 
 // evalPose scores one pose: assemble the complex (composed or re-sampled
@@ -223,5 +247,8 @@ func (s *Server) evalPose(b *pendingSweep, recB, ligB *built, pose geom.Rigid) (
 	s.metrics.prepareNS.Add(t2.Sub(t1).Nanoseconds())
 	s.metrics.evalNS.Add(t3.Sub(t2).Nanoseconds())
 	s.metrics.evals.Add(1)
+	s.sobs.stage(s.sobs.surface, "serve.surface", 0, t0, t1.Sub(t0))
+	s.sobs.stage(s.sobs.prepare, "serve.prepare", 0, t1, t2.Sub(t1))
+	s.sobs.stage(s.sobs.eval, "serve.eval", 0, t2, t3.Sub(t2))
 	return rep.Energy, tm, nil
 }

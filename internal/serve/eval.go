@@ -29,6 +29,7 @@ func (s *Server) engineOpts(o evalOpts) engine.Options {
 		Threads: s.cfg.Threads,
 		BornEps: o.bornEps,
 		EpolEps: o.epolEps,
+		Observe: s.cfg.Observe,
 	}
 	if o.approx {
 		eo.Math = gb.Approximate
@@ -55,22 +56,28 @@ func (s *Server) buildPrepared(mol *molecule.Molecule, o evalOpts) (*built, erro
 	}
 	s.metrics.surfaceNS.Add(b.surfaceNS)
 	s.metrics.prepareNS.Add(b.prepareNS)
+	s.sobs.stage(s.sobs.surface, "serve.surface", 0, t0, t1.Sub(t0))
+	s.sobs.stage(s.sobs.prepare, "serve.prepare", 0, t1, t2.Sub(t1))
 	return b, nil
 }
 
 // evalEnergy runs on a worker: prepared-problem lookup (singleflight
 // build on miss) followed by the E_pol evaluation. Work whose deadline
-// already passed while queued is abandoned before any computation.
-func (s *Server) evalEnergy(ctx context.Context, mol *molecule.Molecule, o evalOpts) energyOutcome {
+// already passed while queued is abandoned before any computation. span is
+// the request's root span ID (0 with observability off); the cache and
+// eval stages are traced under it.
+func (s *Server) evalEnergy(ctx context.Context, mol *molecule.Molecule, o evalOpts, span uint64) energyOutcome {
 	out := energyOutcome{startedAt: time.Now()}
 	if ctx.Err() != nil {
 		s.metrics.canceled.Add(1)
 		out.err = ctx.Err()
 		return out
 	}
+	cacheStart := time.Now()
 	b, src, err := s.cache.get(cacheKey(mol, o), func() (*built, error) {
 		return s.buildPrepared(mol, o)
 	})
+	s.sobs.stage(nil, "serve.cache", span, cacheStart, time.Since(cacheStart))
 	if err != nil {
 		out.err = err
 		return out
@@ -109,5 +116,6 @@ func (s *Server) evalEnergy(ctx context.Context, mol *molecule.Molecule, o evalO
 	out.evalMS = float64(evalNS) / 1e6
 	s.metrics.evalNS.Add(evalNS)
 	s.metrics.evals.Add(1)
+	s.sobs.stage(s.sobs.eval, "serve.eval", span, t0, time.Duration(evalNS))
 	return out
 }

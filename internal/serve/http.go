@@ -217,6 +217,8 @@ func (s *Server) handleEnergy(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.energyRequests.Add(1)
+	reqStart := time.Now()
+	span := s.sobs.spanID()
 
 	var req EnergyRequest
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
@@ -240,12 +242,14 @@ func (s *Server) handleEnergy(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	queued := time.Now()
 	outCh := make(chan energyOutcome, 1)
-	if err := s.submit(func() { outCh <- s.evalEnergy(ctx, mol, opts) }); err != nil {
+	if err := s.submit(func() { outCh <- s.evalEnergy(ctx, mol, opts, span) }); err != nil {
 		s.admissionError(w, reqID, err)
 		return
 	}
 	select {
 	case out := <-outCh:
+		s.sobs.stage(s.sobs.queueWait, "serve.queue", span, queued, out.startedAt.Sub(queued))
+		s.sobs.request(s.sobs.reqEnergy, "serve.energy", span, reqStart)
 		if out.err != nil {
 			s.metrics.failed.Add(1)
 			writeError(w, http.StatusInternalServerError, reqID, "eval_failed", out.err.Error(), 0)
@@ -273,6 +277,7 @@ func (s *Server) handleEnergy(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, resp)
 	case <-ctx.Done():
 		s.metrics.deadlineMisses.Add(1)
+		s.sobs.request(s.sobs.reqEnergy, "serve.energy", span, reqStart)
 		writeError(w, http.StatusGatewayTimeout, reqID, "deadline_exceeded",
 			"request deadline elapsed before evaluation completed", s.retryAfterHint())
 	}
@@ -285,6 +290,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.sweepRequests.Add(1)
+	reqStart := time.Now()
+	span := s.sobs.spanID()
 
 	var req SweepRequest
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
@@ -341,12 +348,15 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		reqID:    reqID,
 		poses:    poses,
 		queuedAt: time.Now(),
+		span:     span,
 		out:      make(chan sweepOutcome, 1),
 	}
 	s.enqueueSweep(rec, lig, opts, req.ExactSurface, wt)
 
 	select {
 	case out := <-wt.out:
+		s.sobs.stage(s.sobs.queueWait, "serve.queue", span, wt.queuedAt, out.startedAt.Sub(wt.queuedAt))
+		s.sobs.request(s.sobs.reqSweep, "serve.sweep", span, reqStart)
 		if out.err != nil {
 			s.metrics.failed.Add(1)
 			writeError(w, http.StatusInternalServerError, reqID, "eval_failed", out.err.Error(), 0)
@@ -374,6 +384,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, resp)
 	case <-ctx.Done():
 		s.metrics.deadlineMisses.Add(1)
+		s.sobs.request(s.sobs.reqSweep, "serve.sweep", span, reqStart)
 		writeError(w, http.StatusGatewayTimeout, reqID, "deadline_exceeded",
 			"request deadline elapsed before the sweep completed", s.retryAfterHint())
 	}

@@ -49,6 +49,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"octgb/internal/obs"
 	"octgb/internal/surface"
 )
 
@@ -94,6 +95,22 @@ type Config struct {
 	Surface surface.Options
 	// Logger receives request and lifecycle logs; nil is silent.
 	Logger *log.Logger
+	// ReadHeaderTimeout / ReadTimeout / IdleTimeout harden the listener
+	// against slow or stalled clients (Slowloris-style header dribbling,
+	// abandoned keep-alive connections). Zero applies the defaults (10s /
+	// 5m / 2m); a negative value disables that timeout. ReadTimeout's
+	// default is generous because energy request bodies can be tens of MB.
+	ReadHeaderTimeout time.Duration
+	ReadTimeout       time.Duration
+	IdleTimeout       time.Duration
+	// Observe attaches metrics and tracing: request/queue/stage latency
+	// histograms on the registry, per-request spans on the tracer, and the
+	// /metrics, /debug/trace and /debug/pprof/* endpoints on the mux (kept
+	// outside the drain gate so scrapes survive shutdown). Engine runs
+	// triggered by requests share the same observer, so one scrape shows
+	// the serve, engine and scheduler layers together. Nil (the default)
+	// disables all of it at zero cost.
+	Observe *obs.Observer
 }
 
 // DefaultAddr is the default listen address.
@@ -136,7 +153,23 @@ func (c Config) withDefaults() Config {
 	if c.Surface == (surface.Options{}) {
 		c.Surface = surface.Default()
 	}
+	c.ReadHeaderTimeout = resolveTimeout(c.ReadHeaderTimeout, 10*time.Second)
+	c.ReadTimeout = resolveTimeout(c.ReadTimeout, 5*time.Minute)
+	c.IdleTimeout = resolveTimeout(c.IdleTimeout, 2*time.Minute)
 	return c
+}
+
+// resolveTimeout maps the Config timeout convention onto http.Server's:
+// zero means def, negative means disabled (http.Server's zero).
+func resolveTimeout(v, def time.Duration) time.Duration {
+	switch {
+	case v < 0:
+		return 0
+	case v == 0:
+		return def
+	default:
+		return v
+	}
 }
 
 // Server is a resident E_pol evaluation service. Create with New, mount
@@ -146,6 +179,7 @@ type Server struct {
 	metrics *metrics
 	cache   *prepCache
 	mux     *http.ServeMux
+	sobs    serveObs
 
 	queue        chan func()
 	stopCh       chan struct{} // closed once by Shutdown after handlers drain
@@ -177,6 +211,7 @@ func New(cfg Config) *Server {
 		pending: make(map[string]*pendingSweep),
 	}
 	s.cache = newPrepCache(cfg.MaxCacheBytes, s.metrics)
+	s.sobs = newServeObs(cfg.Observe)
 	var nb [4]byte
 	_, _ = rand.Read(nb[:])
 	s.nonce = hex.EncodeToString(nb[:])
@@ -186,6 +221,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/sweep", s.wrap(s.handleSweep))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	if cfg.Observe != nil {
+		s.mountDebug(cfg.Observe)
+	}
 
 	for w := 0; w < cfg.Workers; w++ {
 		s.workers.Add(1)
@@ -207,7 +245,12 @@ func (s *Server) Start() error {
 	}
 	s.httpMu.Lock()
 	s.listener = ln
-	s.httpSrv = &http.Server{Handler: s.mux}
+	s.httpSrv = &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: s.cfg.ReadHeaderTimeout,
+		ReadTimeout:       s.cfg.ReadTimeout,
+		IdleTimeout:       s.cfg.IdleTimeout,
+	}
 	srv := s.httpSrv
 	s.httpMu.Unlock()
 	s.logf("serve: listening on %s (workers=%d threads=%d ranks=%d queue=%d cache=%dMiB)",
@@ -240,6 +283,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	s.logf("serve: draining")
 
+	// Parked sweep handlers are in-flight HTTP requests: srv.Shutdown below
+	// waits for them, and they are waiting for their batch's window timer.
+	// Flush every pending batch now (stopping its timer) so shutdown
+	// latency is bounded by evaluation time, not by BatchWindow.
+	s.flushAllPending()
+
 	s.httpMu.Lock()
 	srv := s.httpSrv
 	s.httpMu.Unlock()
@@ -253,12 +302,19 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	// listeners, e.g. httptest) — every waiter they registered resolves
 	// before they return. Polled so stragglers that race the drain can
 	// still register, get their 503, and unregister without tripping
-	// WaitGroup reuse rules.
+	// WaitGroup reuse rules. A single reused ticker paces the poll (the
+	// previous per-iteration time.After allocated a timer every
+	// millisecond for the whole drain). Stragglers admitted before the
+	// draining flag flipped can also still open a batch, so the flush
+	// repeats inside the loop.
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
 	for s.handlersLive.Load() > 0 {
+		s.flushAllPending()
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-time.After(time.Millisecond):
+		case <-tick.C:
 		}
 	}
 

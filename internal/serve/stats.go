@@ -3,6 +3,8 @@ package serve
 import (
 	"sync/atomic"
 	"time"
+
+	"octgb/internal/obs"
 )
 
 // metrics is the server's counter set. Everything is atomic so the hot
@@ -89,6 +91,37 @@ type StatsSnapshot struct {
 		BuildMSTotal   float64 `json:"build_ms_total"`
 		Evals          int64   `json:"evals"`
 	} `json:"timings"`
+
+	// Latency is present only when the server runs with Config.Observe: the
+	// request-latency quantiles of each endpoint, derived from the same
+	// histograms /metrics exports.
+	Latency *LatencySnapshot `json:"latency,omitempty"`
+}
+
+// LatencySnapshot is the /stats request-latency block (observer-enabled
+// servers only).
+type LatencySnapshot struct {
+	Energy EndpointLatency `json:"energy"`
+	Sweep  EndpointLatency `json:"sweep"`
+}
+
+// EndpointLatency summarizes one endpoint's request-latency histogram.
+// Quantiles are upper bucket bounds (see obs.HistSnapshot.Quantile).
+type EndpointLatency struct {
+	Count int64   `json:"count"`
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
+}
+
+func endpointLatency(h *obs.Histogram) EndpointLatency {
+	snap := h.Snapshot()
+	return EndpointLatency{
+		Count: int64(snap.Count),
+		P50MS: float64(snap.Quantile(0.50)) / 1e6,
+		P95MS: float64(snap.Quantile(0.95)) / 1e6,
+		P99MS: float64(snap.Quantile(0.99)) / 1e6,
+	}
 }
 
 func (s *Server) snapshot() StatsSnapshot {
@@ -130,5 +163,12 @@ func (s *Server) snapshot() StatsSnapshot {
 	out.Timings.EvalMSTotal = float64(m.evalNS.Load()) / 1e6
 	out.Timings.BuildMSTotal = float64(m.buildNS.Load()) / 1e6
 	out.Timings.Evals = m.evals.Load()
+
+	if s.sobs.ob != nil {
+		out.Latency = &LatencySnapshot{
+			Energy: endpointLatency(s.sobs.reqEnergy),
+			Sweep:  endpointLatency(s.sobs.reqSweep),
+		}
+	}
 	return out
 }
