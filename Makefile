@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: verify build vet staticcheck test race fuzz chaos obs-smoke bench bench-kernels bench-comm serve-bench
+.PHONY: verify build vet staticcheck test race fuzz chaos obs-smoke bench bench-kernels bench-kernels-check bench-comm serve-bench
 
 ## verify: the tier-1 gate — build, vet (+staticcheck when installed), full
 ## tests, race-test the concurrency-bearing packages (scheduler, treecode
 ## kernels, cluster transports, distributed engines, chaos harness,
-## observability, serving), then smoke the /metrics exposition.
+## observability, serving), then smoke the /metrics exposition. Run
+## bench-kernels-check as well before merging kernel-touching changes.
 verify: build vet staticcheck test race obs-smoke
 
 build:
@@ -54,9 +55,18 @@ bench:
 	$(GO) test -bench=. -benchmem
 
 ## bench-kernels: regenerate the committed BENCH_kernels.json micro-benchmark
-## report (flat vs recursive kernels, Chase–Lev vs mutex deque, ParallelFor).
+## report (flat vs recursive kernels, f32 tier, pooled evaluation, Chase–Lev
+## vs mutex deque, ParallelFor).
 bench-kernels:
 	$(GO) run ./cmd/benchkernels -o BENCH_kernels.json
+
+## bench-kernels-check: perf regression gate — re-run the treecode kernels
+## (min of 3 reps each) and fail if any evaluation kernel is >15% ns/op
+## slower than the committed BENCH_kernels.json, or if a zero-alloc kernel
+## started allocating. List rebuilds and scheduler microbenches are
+## reported but not gated. Run on an otherwise-idle machine.
+bench-kernels-check:
+	$(GO) run ./cmd/benchkernels -check -o BENCH_kernels.json
 
 ## bench-comm: regenerate the committed BENCH_comm.json collective-layer
 ## report (topo vs star algorithms, both transports, modeled cluster costs).

@@ -1,9 +1,13 @@
 // Command benchkernels measures the micro-level costs behind the
 // two-phase treecode: the Born and energy evaluation phases (recursive
 // fused traversal vs flat interaction-list kernels, plus the list rebuild
-// cost amortized by ε-sweeps and docking poses), the Chase–Lev
-// work-stealing deque primitives against the mutex-deque baseline, and
-// ParallelFor dispatch through both pools.
+// cost amortized by ε-sweeps and docking poses), the same flat kernels in
+// the float32 storage tier and under the work-stealing pool at
+// GOMAXPROCS workers, the Chase–Lev work-stealing deque primitives
+// against the mutex-deque baseline, and ParallelFor dispatch through both
+// pools. The f32 entries also record the observed f32-vs-f64 relative
+// error for each workload (max per-atom Born-radius error, total-energy
+// error) in the derived block.
 //
 // Results are printed and written as JSON (default BENCH_kernels.json,
 // the file committed at the repository root).
@@ -12,14 +16,18 @@
 //
 //	benchkernels                 # N = 10000 atoms, writes BENCH_kernels.json
 //	benchkernels -n 2000 -o out.json
+//	benchkernels -check          # compare against committed JSON, exit 1
+//	                             # on >15% ns/op kernel regression
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 
 	"octgb/internal/core"
@@ -46,8 +54,34 @@ type report struct {
 
 func main() {
 	n := flag.Int("n", 10000, "atom count for the kernel benchmarks")
-	outPath := flag.String("o", "BENCH_kernels.json", "output JSON path")
+	outPath := flag.String("o", "BENCH_kernels.json", "output JSON path (baseline path with -check)")
+	check := flag.Bool("check", false, "compare against the committed JSON instead of overwriting it; exit 1 on regression")
+	tol := flag.Float64("tol", 0.15, "allowed fractional ns/op regression for -check")
+	best := flag.Int("best", 0, "repeat each treecode kernel this many times and keep the fastest (0 = 1 normally, 3 with -check)")
 	flag.Parse()
+	if *best == 0 {
+		*best = 1
+		if *check {
+			*best = 3
+		}
+	}
+
+	var baseline *report
+	if *check {
+		buf, err := os.ReadFile(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchkernels: -check:", err)
+			os.Exit(1)
+		}
+		baseline = new(report)
+		if err := json.Unmarshal(buf, baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "benchkernels: -check: parse %s: %v\n", *outPath, err)
+			os.Exit(1)
+		}
+		if baseline.NAtoms != *n {
+			fmt.Printf("note: baseline was recorded at n=%d, running at n=%d\n", baseline.NAtoms, *n)
+		}
+	}
 
 	rep := report{
 		NAtoms:     *n,
@@ -56,15 +90,28 @@ func main() {
 		Derived:    map[string]float64{},
 	}
 	run := func(name string, fn func(b *testing.B)) float64 {
-		r := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			fn(b)
-		})
-		ns := float64(r.T.Nanoseconds()) / float64(r.N)
-		rep.Results = append(rep.Results, result{name, ns, r.AllocedBytesPerOp(), r.AllocsPerOp()})
+		// Min-of-reps on the treecode kernels: the minimum is the standard
+		// noise-robust estimator for single-machine benchmarking — every
+		// source of interference only ever makes a run slower.
+		reps := 1
+		if strings.HasPrefix(name, "born/") || strings.HasPrefix(name, "epol/") {
+			reps = *best
+		}
+		var bestRes testing.BenchmarkResult
+		bestNS := math.Inf(1)
+		for i := 0; i < reps; i++ {
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				fn(b)
+			})
+			if ns := float64(r.T.Nanoseconds()) / float64(r.N); ns < bestNS {
+				bestNS, bestRes = ns, r
+			}
+		}
+		rep.Results = append(rep.Results, result{name, bestNS, bestRes.AllocedBytesPerOp(), bestRes.AllocsPerOp()})
 		fmt.Printf("%-34s %14.1f ns/op %12d B/op %6d allocs/op\n",
-			name, ns, r.AllocedBytesPerOp(), r.AllocsPerOp())
-		return ns
+			name, bestNS, bestRes.AllocedBytesPerOp(), bestRes.AllocsPerOp())
+		return bestNS
 	}
 
 	// ---- treecode kernels ------------------------------------------------
@@ -73,6 +120,9 @@ func main() {
 	rep.NQPoints = len(qpts)
 	bs := core.NewBornSolver(m, qpts, core.BornConfig{Eps: 0.9})
 	bornList := bs.BuildBornList(0, bs.NumQLeaves())
+	workers := runtime.GOMAXPROCS(0)
+	pool := sched.NewPool(workers)
+	rep.Derived["par_workers"] = float64(workers)
 
 	recNS := run("born/recursive", func(b *testing.B) {
 		sN, sA := bs.NewAccumulators()
@@ -90,6 +140,19 @@ func main() {
 			bs.EvalBornList(bornList, sN, sA)
 		}
 	})
+	parNS := run("born/flat-eval-par", func(b *testing.B) {
+		sN, sA := bs.NewAccumulators()
+		accN := make([][]float64, pool.Workers())
+		accA := make([][]float64, pool.Workers())
+		for w := range accN {
+			accN[w], accA[w] = bs.NewAccumulators()
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			evalBornListParallel(bs, bornList, pool, accN, accA, sN, sA)
+		}
+	})
+	rep.Derived["born_par_speedup"] = flatNS / parNS
 	run("born/flat-rebuild", func(b *testing.B) {
 		scratch := new(core.InteractionList)
 		bs.BuildBornListInto(scratch, 0, bs.NumQLeaves()) // warm capacity
@@ -100,12 +163,42 @@ func main() {
 	})
 	rep.Derived["born_eval_speedup"] = recNS / flatNS
 
-	// Born radii through the treecode feed the energy benchmarks.
+	// Reduced-precision tier: the same geometry in f32 storage. The tier
+	// makes identical near/far decisions, so the lists are interchangeable;
+	// it is rebuilt from scratch here to exercise its own construction.
+	bs32 := core.NewBornSolver(m, qpts, core.BornConfig{Eps: 0.9, Precision: core.Float32})
+	bornList32 := bs32.BuildBornList(0, bs32.NumQLeaves())
+	f32NS := run("born/flat-eval-f32", func(b *testing.B) {
+		sN, sA := bs32.NewAccumulators()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bs32.EvalBornList(bornList32, sN, sA)
+		}
+	})
+	rep.Derived["born_f32_speedup"] = flatNS / f32NS
+
+	// Born radii through the treecode feed the energy benchmarks, and the
+	// f64-vs-f32 radii give the observed tier error for the Born workload.
 	sN, sA := bs.NewAccumulators()
 	bs.EvalBornList(bornList, sN, sA)
 	rTree := make([]float64, m.N())
 	bs.PushIntegrals(sN, sA, 0, int32(m.N()), rTree)
-	es := core.NewEpolSolverFromMolecule(m, bs.RadiiToOriginal(rTree), core.EpolConfig{Eps: 0.9})
+	radii := bs.RadiiToOriginal(rTree)
+
+	sN32, sA32 := bs32.NewAccumulators()
+	bs32.EvalBornList(bornList32, sN32, sA32)
+	rTree32 := make([]float64, m.N())
+	bs32.PushIntegrals(sN32, sA32, 0, int32(m.N()), rTree32)
+	radii32 := bs32.RadiiToOriginal(rTree32)
+	maxRel := 0.0
+	for i := range radii {
+		if rel := math.Abs(radii32[i]-radii[i]) / math.Abs(radii[i]); rel > maxRel {
+			maxRel = rel
+		}
+	}
+	rep.Derived["born_f32_max_rel_err"] = maxRel
+
+	es := core.NewEpolSolverFromMolecule(m, radii, core.EpolConfig{Eps: 0.9})
 	epolList := es.BuildEpolList(0, es.NumLeaves())
 
 	recNS = run("epol/recursive", func(b *testing.B) {
@@ -124,6 +217,15 @@ func main() {
 			_ = raw
 		}
 	})
+	parNS = run("epol/flat-eval-par", func(b *testing.B) {
+		partial := make([]float64, pool.Workers())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			raw := evalEpolListParallel(es, epolList, pool, partial)
+			_ = raw
+		}
+	})
+	rep.Derived["epol_par_speedup"] = flatNS / parNS
 	run("epol/flat-rebuild", func(b *testing.B) {
 		scratch := new(core.InteractionList)
 		es.BuildEpolListInto(scratch, 0, es.NumLeaves()) // warm capacity
@@ -133,6 +235,21 @@ func main() {
 		}
 	})
 	rep.Derived["epol_eval_speedup"] = recNS / flatNS
+
+	// f32 energy tier from the same (f64) Born radii, so the derived error
+	// isolates the energy kernel rather than compounding the Born tier's.
+	es32 := core.NewEpolSolverFromMolecule(m, radii, core.EpolConfig{Eps: 0.9, Precision: core.Float32})
+	epolList32 := es32.BuildEpolList(0, es32.NumLeaves())
+	f32NS = run("epol/flat-eval-f32", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			raw, _ := es32.EvalEpolList(epolList32)
+			_ = raw
+		}
+	})
+	rep.Derived["epol_f32_speedup"] = flatNS / f32NS
+	raw64, _ := es.EvalEpolList(epolList)
+	raw32, _ := es32.EvalEpolList(epolList32)
+	rep.Derived["epol_f32_rel_err"] = math.Abs(raw32-raw64) / math.Abs(raw64)
 
 	// ---- scheduler primitives -------------------------------------------
 	task := sched.Task(func(int) {})
@@ -199,6 +316,10 @@ func main() {
 		}
 	}
 
+	if *check {
+		os.Exit(checkAgainst(baseline, &rep, *tol))
+	}
+
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchkernels:", err)
@@ -211,5 +332,128 @@ func main() {
 	}
 	fmt.Printf("\nborn eval speedup (flat vs recursive): %.2fx\n", rep.Derived["born_eval_speedup"])
 	fmt.Printf("epol eval speedup (flat vs recursive): %.2fx\n", rep.Derived["epol_eval_speedup"])
+	fmt.Printf("f32 tier: born %.2fx (max radius rel err %.2g), epol %.2fx (energy rel err %.2g)\n",
+		rep.Derived["born_f32_speedup"], rep.Derived["born_f32_max_rel_err"],
+		rep.Derived["epol_f32_speedup"], rep.Derived["epol_f32_rel_err"])
 	fmt.Printf("wrote %s\n", *outPath)
+}
+
+// checkAgainst compares a fresh run with the committed baseline and
+// returns the process exit code: 1 if any treecode evaluation kernel
+// regressed by more than tol on ns/op or gained an allocation, else 0.
+// Scheduler microbenches (deque/*, parallelfor/*) and the list rebuilds
+// are reported but not gated — the sub-100ns and short-bench scales are
+// far noisier than the evaluation kernels the gate exists to protect.
+// Run on a quiet machine: the gate measures the CPU, and a loaded box
+// fails it spuriously.
+func checkAgainst(baseline, fresh *report, tol float64) int {
+	base := make(map[string]result, len(baseline.Results))
+	for _, r := range baseline.Results {
+		base[r.Name] = r
+	}
+	fmt.Printf("\n%-34s %14s %14s %9s\n", "kernel", "baseline ns/op", "fresh ns/op", "delta")
+	failed := 0
+	for _, r := range fresh.Results {
+		b, ok := base[r.Name]
+		if !ok {
+			fmt.Printf("%-34s %14s %14.1f %9s\n", r.Name, "(new)", r.NsPerOp, "-")
+			continue
+		}
+		delta := r.NsPerOp/b.NsPerOp - 1
+		gated := (strings.HasPrefix(r.Name, "born/") || strings.HasPrefix(r.Name, "epol/")) &&
+			!strings.Contains(r.Name, "rebuild")
+		status := ""
+		if gated {
+			if delta > tol {
+				status = "  REGRESSED"
+				failed++
+			}
+			if r.AllocsPerOp > b.AllocsPerOp {
+				status += "  ALLOCS"
+				failed++
+			}
+		}
+		fmt.Printf("%-34s %14.1f %14.1f %+8.1f%%%s\n", r.Name, b.NsPerOp, r.NsPerOp, delta*100, status)
+	}
+	if failed > 0 {
+		fmt.Printf("\nFAIL: %d kernel(s) regressed beyond %.0f%% vs %d-atom baseline\n",
+			failed, tol*100, baseline.NAtoms)
+		return 1
+	}
+	fmt.Printf("\nOK: no kernel regressed beyond %.0f%%\n", tol*100)
+	return 0
+}
+
+// evalBornListParallel mirrors the engine's pooled Born evaluation: far
+// and near entries form one combined index space the workers chunk and
+// steal, each into its own pre-allocated accumulator pair, reduced into
+// sNode/sAtom afterwards. Accumulators are not zeroed between calls —
+// like the serial benchmark loop, the sums just keep growing.
+func evalBornListParallel(bs *core.BornSolver, list *core.InteractionList, pool *sched.Pool, accN, accA [][]float64, sNode, sAtom []float64) {
+	nf := len(list.Far)
+	total := nf + len(list.Near)
+	if total == 0 {
+		return
+	}
+	pool.ParallelFor(total, 0, func(w, lo, hi int) {
+		if lo < nf {
+			fhi := hi
+			if fhi > nf {
+				fhi = nf
+			}
+			bs.EvalBornFarRange(list, lo, fhi, accN[w])
+		}
+		if hi > nf {
+			nlo := lo
+			if nlo < nf {
+				nlo = nf
+			}
+			bs.EvalBornNearRange(list, nlo-nf, hi-nf, accA[w])
+		}
+	})
+	for w := range accN {
+		for i := range sNode {
+			sNode[i] += accN[w][i]
+		}
+		for i := range sAtom {
+			sAtom[i] += accA[w][i]
+		}
+	}
+}
+
+// evalEpolListParallel mirrors the engine's pooled energy evaluation:
+// per-worker partial sums over the combined near+far index space, reduced
+// to the raw ordered-pair sum.
+func evalEpolListParallel(es *core.EpolSolver, list *core.InteractionList, pool *sched.Pool, partial []float64) float64 {
+	nn := len(list.Near)
+	total := nn + len(list.Far)
+	if total == 0 {
+		return 0
+	}
+	for w := range partial {
+		partial[w] = 0
+	}
+	pool.ParallelFor(total, 0, func(w, lo, hi int) {
+		var sum float64
+		if lo < nn {
+			nhi := hi
+			if nhi > nn {
+				nhi = nn
+			}
+			sum += es.EvalEpolNearRange(list, lo, nhi)
+		}
+		if hi > nn {
+			flo := lo
+			if flo < nn {
+				flo = nn
+			}
+			sum += es.EvalEpolFarRange(list, flo-nn, hi-nn)
+		}
+		partial[w] += sum
+	})
+	var raw float64
+	for _, p := range partial {
+		raw += p
+	}
+	return raw
 }

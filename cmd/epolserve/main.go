@@ -29,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"octgb/internal/core"
 	"octgb/internal/obs"
 	"octgb/internal/serve"
 	"octgb/internal/surface"
@@ -60,6 +61,7 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		drain       = fs.Duration("drain-timeout", 2*time.Minute, "graceful shutdown budget")
 		bornEps     = fs.Float64("borneps", 0.9, "default Born-radius approximation parameter ε")
 		epolEps     = fs.Float64("epoleps", 0.9, "default energy approximation parameter ε")
+		prec        = fs.String("precision", "f64", "default kernel storage tier: f64 | f32 (~1e-6 relative error, half the memory)")
 		subdiv      = fs.Int("subdiv", 1, "default surface icosphere subdivision level")
 		degree      = fs.Int("degree", 1, "default Dunavant quadrature degree (1-5)")
 		observe     = fs.Bool("observe", true, "expose /metrics, /debug/trace and /debug/pprof/* and record latency histograms")
@@ -67,6 +69,10 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	tier, ok := core.ParsePrecision(*prec)
+	if !ok {
+		return fmt.Errorf("epolserve: unknown -precision %q (want f64 or f32)", *prec)
 	}
 
 	cfg := serve.Config{
@@ -81,6 +87,7 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		DefaultDeadline: *deadline,
 		BornEps:         *bornEps,
 		EpolEps:         *epolEps,
+		Precision:       tier,
 		Surface:         surface.Options{SubdivLevel: *subdiv, Degree: *degree},
 	}
 	if *observe {

@@ -31,12 +31,11 @@ func (s *BornSolver) approxIntegralsRange(a, q, lo, hi int32, sNode, sAtom []flo
 	}
 	st.NodesVisited++
 	qn := &s.TQ.Nodes[q]
-	d := an.Center.Dist(qn.Center)
-	if wellSeparated(d, an.Radius, qn.Radius, s.sepC) {
+	d2 := an.Center.Dist2(qn.Center)
+	if wellSeparated2(d2, an.Radius, qn.Radius, s.sepK2) {
 		if an.Start >= lo && an.Start+an.Count <= hi {
 			// Node fully owned: collect at the node as usual.
 			diff := qn.Center.Sub(an.Center)
-			d2 := d * d
 			sNode[a] += s.nodeWN[q].Dot(diff) * s.kernel(d2)
 			st.FarEval++
 			return
@@ -47,8 +46,7 @@ func (s *BornSolver) approxIntegralsRange(a, q, lo, hi int32, sNode, sAtom []flo
 		from, to := clampRange(an.Start, an.Start+an.Count, lo, hi)
 		for i := from; i < to; i++ {
 			dv := qn.Center.Sub(s.TA.Points[i])
-			d2 := dv.Norm2()
-			sAtom[i] += s.nodeWN[q].Dot(dv) * s.kernel(d2)
+			sAtom[i] += s.nodeWN[q].Dot(dv) * s.kernel(dv.Norm2())
 			st.FarEval++
 		}
 		return
@@ -126,9 +124,9 @@ func (s *EpolSolver) epolVisitRows(u, v int32, from, to int32, st *Stats) float6
 		st.NearPairs += int64(uhi-ulo) * int64(to-from)
 		return sum
 	}
-	d := un.Center.Dist(vn.Center)
-	if d > (un.Radius+vn.Radius)*s.sep {
-		return s.binApproxRows(u, v, d*d, from, to, st)
+	d2 := un.Center.Dist2(vn.Center)
+	if epolFar2(d2, un.Radius, vn.Radius, s.sep2) {
+		return s.binApproxRows(u, v, d2, from, to, st)
 	}
 	var sum float64
 	for _, ch := range un.Children {

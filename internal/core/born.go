@@ -65,6 +65,12 @@ type BornConfig struct {
 	CriterionPower int
 	// LeafSize is the octree leaf capacity (≤0 → octree.DefaultLeafSize).
 	LeafSize int
+	// Precision selects the flat-kernel storage tier (soa32.go). Float64
+	// (zero value) is exact; Float32 stores coordinates and weights in
+	// float32 with float64 accumulation. The recursive oracle and the
+	// list builders always run in float64, so lists and Stats are
+	// tier-independent.
+	Precision Precision
 }
 
 func (c BornConfig) withDefaults() BornConfig {
@@ -86,11 +92,29 @@ func sepRatio(eps float64, power int) float64 {
 	return math.Pow(1+eps, 1/float64(power))
 }
 
-// wellSeparated implements the near–far test for two enclosing balls with
-// center distance d and radii ra, rq, with threshold c = (1+ε)^(1/p).
-func wellSeparated(d, ra, rq, c float64) bool {
+// sepFactor2 converts the acceptance threshold c into the squared-form
+// constant k² = ((c+1)/(c−1))². The historical test
+//
+//	d−r > 0 && d+r ≤ c·(d−r)
+//
+// is algebraically d ≥ r·(c+1)/(c−1) (with d > 0 when r = 0), so on
+// squared distances it becomes d² ≥ r²·k² — no square root per visited
+// node pair, and k² is computed once per solver instead of the ratio
+// arithmetic running per pair. Every traversal (recursive oracles, list
+// builders, frontier expansion) uses the same squared test, so Stats
+// stay in lockstep across paths.
+func sepFactor2(c float64) float64 {
+	k := (c + 1) / (c - 1)
+	return k * k
+}
+
+// wellSeparated2 is the strength-reduced near–far test on SQUARED center
+// distance d2 for enclosing balls with radii ra, rq; k2 = sepFactor2(c).
+// The d2 > 0 guard keeps coincident single-point cells (r = 0) in the
+// near field, matching the d−r > 0 branch of the original form.
+func wellSeparated2(d2, ra, rq, k2 float64) bool {
 	r := ra + rq
-	return d-r > 0 && d+r <= c*(d-r)
+	return d2 >= r*r*k2 && d2 > 0
 }
 
 // BornSolver holds the immutable state of the Born-radius treecode: the
@@ -101,7 +125,7 @@ type BornSolver struct {
 	TQ *octree.Tree // quadrature-points octree
 
 	cfg    BornConfig
-	sepC   float64     // separation threshold (1+ε)^(1/p)
+	sepK2  float64     // squared-form separation constant, sepFactor2((1+ε)^(1/p))
 	r4     bool        // Coulomb-field r⁴ integrand instead of r⁶
 	atomR  []float64   // vdW radii, T_A tree order
 	wn     []geom.Vec3 // w_q·n_q per q-point, T_Q tree order
@@ -112,6 +136,20 @@ type BornSolver struct {
 	// for the flat far-field kernels (lists.go).
 	wnX, wnY, wnZ    []float64
 	wnNX, wnNY, wnNZ []float64
+
+	// aRange packs each T_A node's point range as start|end<<32 —
+	// computed once at construction so the vector near-field kernel
+	// (bornnear_amd64.s) can walk run entries without touching the wide
+	// octree.Node records.
+	aRange []int64
+	// aCent packs each T_A node center as 4 contiguous float64
+	// (x, y, z, pad) so the vector far-field kernel loads a center with
+	// one 32-byte read instead of three strided ones.
+	aCent []float64
+
+	// f32 holds the reduced-precision storage tier (nil unless the config
+	// selects Float32); kernels32.go dispatches on it.
+	f32 *bornSoA32
 }
 
 // kernel evaluates the configured integrand's denominator given the
@@ -127,7 +165,7 @@ func (s *BornSolver) kernel(d2 float64) float64 {
 // q-point slices are not retained.
 func NewBornSolver(mol *molecule.Molecule, qpts []surface.QPoint, cfg BornConfig) *BornSolver {
 	cfg = cfg.withDefaults()
-	s := &BornSolver{cfg: cfg, sepC: sepRatio(cfg.Eps, cfg.CriterionPower), r4: cfg.Exponent == 4}
+	s := &BornSolver{cfg: cfg, sepK2: sepFactor2(sepRatio(cfg.Eps, cfg.CriterionPower)), r4: cfg.Exponent == 4}
 
 	apos := make([]geom.Vec3, mol.N())
 	for i := range mol.Atoms {
@@ -183,6 +221,17 @@ func NewBornSolver(mol *molecule.Molecule, qpts []surface.QPoint, cfg BornConfig
 	} else {
 		s.rcap = math.Max(10, 2*b.HalfDiagonal())
 	}
+	s.aRange = make([]int64, len(s.TA.Nodes))
+	s.aCent = make([]float64, 4*len(s.TA.Nodes))
+	for n := range s.TA.Nodes {
+		lo, hi := s.TA.PointRange(int32(n))
+		s.aRange[n] = int64(lo) | int64(hi)<<32
+		c := s.TA.Nodes[n].Center
+		s.aCent[4*n], s.aCent[4*n+1], s.aCent[4*n+2] = c.X, c.Y, c.Z
+	}
+	if cfg.Precision == Float32 {
+		s.f32 = newBornSoA32(s)
+	}
 	return s
 }
 
@@ -218,12 +267,11 @@ func (s *BornSolver) approxIntegrals(a, q int32, sNode, sAtom []float64, st *Sta
 	st.NodesVisited++
 	an := &s.TA.Nodes[a]
 	qn := &s.TQ.Nodes[q]
-	d := an.Center.Dist(qn.Center)
-	if wellSeparated(d, an.Radius, qn.Radius, s.sepC) {
+	d2 := an.Center.Dist2(qn.Center)
+	if wellSeparated2(d2, an.Radius, qn.Radius, s.sepK2) {
 		// Far enough: one pseudo q-point at Q's center against one pseudo
 		// atom at A's center. s_A += ñ_Q·(c_Q − c_A) / r_AQ⁶.
 		diff := qn.Center.Sub(an.Center)
-		d2 := d * d
 		sNode[a] += s.nodeWN[q].Dot(diff) * s.kernel(d2)
 		st.FarEval++
 		return
@@ -272,10 +320,9 @@ func (s *BornSolver) approxIntegralsDual(a, q int32, sNode, sAtom []float64, st 
 	st.NodesVisited++
 	an := &s.TA.Nodes[a]
 	qn := &s.TQ.Nodes[q]
-	d := an.Center.Dist(qn.Center)
-	if wellSeparated(d, an.Radius, qn.Radius, s.sepC) {
+	d2 := an.Center.Dist2(qn.Center)
+	if wellSeparated2(d2, an.Radius, qn.Radius, s.sepK2) {
 		diff := qn.Center.Sub(an.Center)
-		d2 := d * d
 		sNode[a] += s.nodeWN[q].Dot(diff) * s.kernel(d2)
 		st.FarEval++
 		return

@@ -1,0 +1,160 @@
+#include "textflag.h"
+
+// Vectorized Born far-field kernel. See bornFarArgs in bornfar_amd64.go
+// for the argument block layout. Four entries per iteration: each T_A
+// node center is one 32-byte load from the packed aCent array, a 4×3
+// unpack/permute transpose turns them into X/Y/Z lane vectors, and the
+// pair term (ñ_Q·(c_Q−c_A))/d²ᵏ is formed with FMA and a single packed
+// divide. The four results scatter into sNode with scalar adds — within
+// a run all A nodes are distinct, so lanes never collide.
+//
+// Register plan:
+//   BX/R15 entry cursor/end · R14 aCent · R11 sNode · CX,SI,DI,R13 lane
+//   node offsets · Y12..Y14 q-center splats · Y9..Y11 ñ_Q splats ·
+//   Y0..Y8 transpose/pipeline temps
+
+DATA bornOne<>+0(SB)/8, $0x3FF0000000000000 // 1.0
+GLOBL bornOne<>(SB), RODATA, $8
+
+// func bornFarRunAVX2(a *bornFarArgs)
+TEXT ·bornFarRunAVX2(SB), NOSPLIT, $0-8
+	MOVQ a+0(FP), AX
+	MOVQ 0(AX), BX             // entries cursor
+	MOVQ 8(AX), R15
+	SHLQ $3, R15
+	ADDQ BX, R15               // entries end
+	MOVQ 16(AX), R14           // packed centers
+	MOVQ 24(AX), R11           // sNode
+	VBROADCASTSD 32(AX), Y12
+	VBROADCASTSD 40(AX), Y13
+	VBROADCASTSD 48(AX), Y14
+	VBROADCASTSD 56(AX), Y9
+	VBROADCASTSD 64(AX), Y10
+	VBROADCASTSD 72(AX), Y11
+	MOVQ 80(AX), AX            // exponent selector
+	VBROADCASTSD bornOne<>+0(SB), Y15
+	CMPQ AX, $0
+	JNE  f4loop
+
+	// 1/d⁶ variant.
+f6loop:
+	CMPQ BX, R15
+	JGE  fdone
+	MOVLQSX 0(BX), CX          // lane node ids → byte offsets into aCent
+	MOVLQSX 8(BX), SI
+	MOVLQSX 16(BX), DI
+	MOVLQSX 24(BX), R13
+	SHLQ $5, CX
+	SHLQ $5, SI
+	SHLQ $5, DI
+	SHLQ $5, R13
+	VMOVUPD (R14)(CX*1), Y0    // (x0 y0 z0 _)
+	VMOVUPD (R14)(SI*1), Y1
+	VMOVUPD (R14)(DI*1), Y2
+	VMOVUPD (R14)(R13*1), Y3
+	VUNPCKLPD Y1, Y0, Y4       // (x0 x1 z0 z1)
+	VUNPCKHPD Y1, Y0, Y5       // (y0 y1 _ _)
+	VUNPCKLPD Y3, Y2, Y6       // (x2 x3 z2 z3)
+	VUNPCKHPD Y3, Y2, Y7       // (y2 y3 _ _)
+	VPERM2F128 $0x20, Y6, Y4, Y0 // X lanes
+	VPERM2F128 $0x31, Y6, Y4, Y2 // Z lanes
+	VPERM2F128 $0x20, Y7, Y5, Y1 // Y lanes
+	VSUBPD Y0, Y12, Y0         // d = c_Q − c_A
+	VSUBPD Y1, Y13, Y1
+	VSUBPD Y2, Y14, Y2
+	// Plain mul/add in the scalar kernel's evaluation order — no FMA
+	// contraction — so every lane is bitwise identical to the Go loop
+	// (the far dot products cancel; reassociation would breach the
+	// 1e-12 oracle pins).
+	VMULPD Y0, Y0, Y4
+	VMULPD Y1, Y1, Y5
+	VADDPD Y5, Y4, Y4
+	VMULPD Y2, Y2, Y5
+	VADDPD Y5, Y4, Y4          // d²
+	VMULPD Y9, Y0, Y0
+	VMULPD Y10, Y1, Y1
+	VADDPD Y1, Y0, Y0
+	VMULPD Y11, Y2, Y2
+	VADDPD Y2, Y0, Y0          // ñ_Q·d
+	VMULPD Y4, Y4, Y5
+	VMULPD Y4, Y5, Y5          // d⁶
+	VDIVPD Y5, Y15, Y5         // 1/d⁶
+	VMULPD Y5, Y0, Y0          // t
+	SHRQ $2, CX                // byte offsets into sNode (node id × 8)
+	SHRQ $2, SI
+	SHRQ $2, DI
+	SHRQ $2, R13
+	VEXTRACTF128 $1, Y0, X1
+	VADDSD (R11)(CX*1), X0, X2
+	VMOVSD X2, (R11)(CX*1)
+	VSHUFPD $1, X0, X0, X3
+	VADDSD (R11)(SI*1), X3, X2
+	VMOVSD X2, (R11)(SI*1)
+	VADDSD (R11)(DI*1), X1, X2
+	VMOVSD X2, (R11)(DI*1)
+	VSHUFPD $1, X1, X1, X3
+	VADDSD (R11)(R13*1), X3, X2
+	VMOVSD X2, (R11)(R13*1)
+	ADDQ $32, BX
+	JMP  f6loop
+
+	// 1/d⁴ (Coulomb-field) variant.
+f4loop:
+	CMPQ BX, R15
+	JGE  fdone
+	MOVLQSX 0(BX), CX
+	MOVLQSX 8(BX), SI
+	MOVLQSX 16(BX), DI
+	MOVLQSX 24(BX), R13
+	SHLQ $5, CX
+	SHLQ $5, SI
+	SHLQ $5, DI
+	SHLQ $5, R13
+	VMOVUPD (R14)(CX*1), Y0
+	VMOVUPD (R14)(SI*1), Y1
+	VMOVUPD (R14)(DI*1), Y2
+	VMOVUPD (R14)(R13*1), Y3
+	VUNPCKLPD Y1, Y0, Y4
+	VUNPCKHPD Y1, Y0, Y5
+	VUNPCKLPD Y3, Y2, Y6
+	VUNPCKHPD Y3, Y2, Y7
+	VPERM2F128 $0x20, Y6, Y4, Y0
+	VPERM2F128 $0x31, Y6, Y4, Y2
+	VPERM2F128 $0x20, Y7, Y5, Y1
+	VSUBPD Y0, Y12, Y0
+	VSUBPD Y1, Y13, Y1
+	VSUBPD Y2, Y14, Y2
+	VMULPD Y0, Y0, Y4
+	VMULPD Y1, Y1, Y5
+	VADDPD Y5, Y4, Y4
+	VMULPD Y2, Y2, Y5
+	VADDPD Y5, Y4, Y4
+	VMULPD Y9, Y0, Y0
+	VMULPD Y10, Y1, Y1
+	VADDPD Y1, Y0, Y0
+	VMULPD Y11, Y2, Y2
+	VADDPD Y2, Y0, Y0
+	VMULPD Y4, Y4, Y5          // d⁴
+	VDIVPD Y5, Y15, Y5         // 1/d⁴
+	VMULPD Y5, Y0, Y0
+	SHRQ $2, CX
+	SHRQ $2, SI
+	SHRQ $2, DI
+	SHRQ $2, R13
+	VEXTRACTF128 $1, Y0, X1
+	VADDSD (R11)(CX*1), X0, X2
+	VMOVSD X2, (R11)(CX*1)
+	VSHUFPD $1, X0, X0, X3
+	VADDSD (R11)(SI*1), X3, X2
+	VMOVSD X2, (R11)(SI*1)
+	VADDSD (R11)(DI*1), X1, X2
+	VMOVSD X2, (R11)(DI*1)
+	VSHUFPD $1, X1, X1, X3
+	VADDSD (R11)(R13*1), X3, X2
+	VMOVSD X2, (R11)(R13*1)
+	ADDQ $32, BX
+	JMP  f4loop
+
+fdone:
+	VZEROUPPER
+	RET

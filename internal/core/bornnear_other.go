@@ -1,0 +1,20 @@
+//go:build !amd64
+
+package core
+
+// Stub for the amd64-only vector path; unreachable because hasAVX2FMA is
+// constant false on other architectures (the compiler drops the branch).
+func (s *BornSolver) evalBornNearRangeVec(near []NodePair, sAtom []float64) {
+	panic("core: vector kernel dispatched without AVX2 support")
+}
+
+// Stub for the amd64-only far-field vector path; likewise unreachable.
+func (s *BornSolver) evalBornFarRangeVec(far []NodePair, sNode []float64) {
+	panic("core: vector kernel dispatched without AVX2 support")
+}
+
+// Stub for the amd64-only energy near-field vector path; likewise
+// unreachable.
+func (s *EpolSolver) evalEpolNearRangeVec(near []NodePair) float64 {
+	panic("core: vector kernel dispatched without AVX2 support")
+}

@@ -22,17 +22,33 @@ func relErr(a, b float64) float64 {
 
 func TestWellSeparated(t *testing.T) {
 	c := sepRatio(0.9, 1) // 1.9
+	k2 := sepFactor2(c)   // ((c+1)/(c-1))²
 	// d=10, r=1+1: ratio (10+2)/(10-2) = 1.5 ≤ 1.9 → separated.
-	if !wellSeparated(10, 1, 1, c) {
+	if !wellSeparated2(100, 1, 1, k2) {
 		t.Error("clearly separated pair rejected")
 	}
 	// Overlapping balls are never separated.
-	if wellSeparated(1.5, 1, 1, c) {
+	if wellSeparated2(1.5*1.5, 1, 1, k2) {
 		t.Error("overlapping pair accepted")
 	}
 	// d=3, r=2: ratio 5/1 = 5 > 1.9 → not separated.
-	if wellSeparated(3, 1, 1, c) {
+	if wellSeparated2(9, 1, 1, k2) {
 		t.Error("close pair accepted")
+	}
+	// Coincident point nodes (r=0, d=0) must not be "separated": the
+	// squared form's d² > 0 guard replaces the linear form's d−r > 0.
+	if wellSeparated2(0, 0, 0, k2) {
+		t.Error("coincident degenerate pair accepted")
+	}
+	// The squared form must agree with the (d+r) ≤ c·(d−r) definition
+	// across the acceptance boundary.
+	for _, d := range []float64{2.0, 4.0, 6.0, 6.55, 6.56, 6.6, 8.0, 50.0} {
+		ra, rq := 1.25, 0.8
+		r := ra + rq
+		lin := d-r > 0 && d+r <= c*(d-r)
+		if got := wellSeparated2(d*d, ra, rq, k2); got != lin {
+			t.Errorf("d=%v: squared form %v, linear form %v", d, got, lin)
+		}
 	}
 }
 

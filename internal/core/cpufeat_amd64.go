@@ -1,0 +1,38 @@
+package core
+
+// CPU feature detection for the hand-vectorized kernels. The standard
+// library keeps its feature flags in internal/cpu, which user code cannot
+// import, so the two instructions needed (CPUID and XGETBV) live in
+// cpufeat_amd64.s. The vector kernels require AVX2 and FMA, plus OS
+// support for saving the YMM state (OSXSAVE set and XCR0 enabling both
+// SSE and AVX state), per the Intel-documented detection sequence.
+
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv() (eax, edx uint32)
+
+// hasAVX2FMA reports whether the AVX2+FMA kernels can run on this
+// machine. Computed once at package init; kernel dispatch reads the
+// cached flag.
+var hasAVX2FMA = detectAVX2FMA()
+
+func detectAVX2FMA() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	const fma = 1 << 12
+	if ecx1&osxsave == 0 || ecx1&avx == 0 || ecx1&fma == 0 {
+		return false
+	}
+	// XCR0 bits 1 (SSE) and 2 (AVX) must both be enabled by the OS.
+	xcr0, _ := xgetbv()
+	if xcr0&0x6 != 0x6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const avx2 = 1 << 5
+	return ebx7&avx2 != 0
+}

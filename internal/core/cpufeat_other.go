@@ -1,0 +1,7 @@
+//go:build !amd64
+
+package core
+
+// Non-amd64 builds have no hand-vectorized kernels; dispatch always
+// takes the portable Go loops.
+const hasAVX2FMA = false

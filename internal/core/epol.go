@@ -21,6 +21,11 @@ type EpolConfig struct {
 	// LeafSize is the octree leaf capacity (≤0 → default). Ignored when
 	// the solver is built from an existing tree.
 	LeafSize int
+	// Precision selects the flat-kernel storage tier (soa32.go). Float64
+	// (zero value) is exact; Float32 stores positions, charges and Born
+	// radii in float32 with float64 accumulation. Math is ignored by the
+	// Float32 kernels, which carry their own fast float32 exp/sqrt.
+	Precision Precision
 }
 
 func (c EpolConfig) withDefaults() EpolConfig {
@@ -37,14 +42,19 @@ type EpolSolver struct {
 	T   *octree.Tree
 	cfg EpolConfig
 
-	q     []float64 // charges, tree order
-	R     []float64 // Born radii, tree order
+	q    []float64 // charges, tree order
+	R    []float64 // Born radii, tree order
+	invR []float64 // 1/R, tree order — lets the flat kernels form the
+	// exp argument −d²/(4RᵢRⱼ) as (−d²·0.25·invRᵢ)·invRⱼ with two
+	// multiplies instead of a divide (the divider unit is the near-field
+	// kernel's scarcest resource; see DESIGN.md §11)
 	Rmin  float64
 	M     int       // number of Born-radius bins (the paper's M_ε)
 	bins  []float64 // node-major [node*M + k] charge sums
 	binOf []int32   // per-atom bin index, tree order
 	binRR []float64 // R_min²·(1+ε)^s for s = i+j, len 2M-1 (precomputed)
 	sep   float64   // separation factor 1 + 2/ε
+	sep2  float64   // sep², for the squared-distance acceptance test
 
 	// Compressed nonzero-bin layout for the flat far-field kernel
 	// (lists.go): per node, only the occupied bins. nzStart[n]..nzStart[n+1]
@@ -54,6 +64,47 @@ type EpolSolver struct {
 	nzStart []int32
 	nzBin   []int32
 	nzQ     []float64
+
+	// f32 holds the reduced-precision storage tier (nil unless the config
+	// selects Float32); kernels32.go dispatches on it.
+	f32 *epolSoA32
+
+	// AoS row tables for the amd64 near-field vector kernel
+	// (epolnear_amd64.go). uRange packs each node's [start, end) atom
+	// range into one int64 so the assembly loads a row's bounds with a
+	// single instruction; uPos holds (x, y, z, pad) and uQRG
+	// (q, R, −0.25/R, pad) per atom at a 32-byte stride so one cursor
+	// register addresses all six per-row broadcast invariants.
+	uRange []int64
+	uPos   []float64
+	uQRG   []float64
+}
+
+// buildVecTables (re)packs the broadcast row tables from the solver's
+// current q/R/invR and tree SoA mirrors. Called at construction, and again
+// by Restrict so the NaN poison propagates into the vector path; SetResident
+// patches the tables in place instead.
+func (s *EpolSolver) buildVecTables() {
+	s.uRange = make([]int64, len(s.T.Nodes))
+	for n := range s.T.Nodes {
+		lo, hi := s.T.PointRange(int32(n))
+		s.uRange[n] = int64(lo) | int64(hi)<<32
+	}
+	s.uPos = make([]float64, 4*len(s.q))
+	s.uQRG = make([]float64, 4*len(s.q))
+	for i := range s.q {
+		s.uPos[4*i], s.uPos[4*i+1], s.uPos[4*i+2] = s.T.X[i], s.T.Y[i], s.T.Z[i]
+		s.uQRG[4*i], s.uQRG[4*i+1], s.uQRG[4*i+2] = s.q[i], s.R[i], -0.25*s.invR[i]
+	}
+}
+
+// epolFar2 is the squared form of the paper's well-separatedness test
+// r_UV > (r_U + r_V)·(1 + 2/ε): d2 > (ru+rv)²·sep². Both sides are
+// non-negative, so the strict inequality carries over exactly; no square
+// root is taken per visited node pair.
+func epolFar2(d2, ru, rv, sep2 float64) bool {
+	r := ru + rv
+	return d2 > r*r*sep2
 }
 
 // NewEpolSolver builds the energy treecode state over an existing atoms
@@ -68,10 +119,12 @@ func NewEpolSolver(tree *octree.Tree, charges, bornR []float64, cfg EpolConfig) 
 		R:   make([]float64, n),
 		sep: 1 + 2/cfg.Eps,
 	}
+	s.sep2 = s.sep * s.sep
 	for i, orig := range tree.Perm {
 		s.q[i] = charges[orig]
 		s.R[i] = bornR[orig]
 	}
+	s.invR = recipOf(s.R)
 
 	// Born-radius bins: geometric with ratio (1+ε) from R_min.
 	s.Rmin = math.Inf(1)
@@ -150,6 +203,10 @@ func NewEpolSolver(tree *octree.Tree, charges, bornR []float64, cfg EpolConfig) 
 		}
 	}
 	s.nzStart[len(tree.Nodes)] = int32(len(s.nzBin))
+	s.buildVecTables()
+	if cfg.Precision == Float32 {
+		s.f32 = newEpolSoA32(s)
+	}
 	return s
 }
 
@@ -212,9 +269,9 @@ func (s *EpolSolver) epolVisit(u, v int32, st *Stats) float64 {
 		st.NearPairs += int64(uhi-ulo) * int64(vhi-vlo)
 		return sum
 	}
-	d := un.Center.Dist(vn.Center)
-	if d > (un.Radius+vn.Radius)*s.sep {
-		return s.binApprox(u, v, d*d, st)
+	d2 := un.Center.Dist2(vn.Center)
+	if epolFar2(d2, un.Radius, vn.Radius, s.sep2) {
+		return s.binApprox(u, v, d2, st)
 	}
 	var sum float64
 	for _, ch := range un.Children {
@@ -277,9 +334,9 @@ func (s *EpolSolver) epolDual(u, v int32, st *Stats) float64 {
 	st.NodesVisited++
 	un := &s.T.Nodes[u]
 	vn := &s.T.Nodes[v]
-	d := un.Center.Dist(vn.Center)
-	if u != v && d > (un.Radius+vn.Radius)*s.sep {
-		return s.binApprox(u, v, d*d, st)
+	d2 := un.Center.Dist2(vn.Center)
+	if u != v && epolFar2(d2, un.Radius, vn.Radius, s.sep2) {
+		return s.binApprox(u, v, d2, st)
 	}
 	if un.Leaf && vn.Leaf {
 		ulo, uhi := s.T.PointRange(u)
@@ -328,15 +385,16 @@ func (s *EpolSolver) Restrict(residentLeaves []int32) *EpolSolver {
 	nan := math.NaN()
 	out.q = make([]float64, len(s.q))
 	out.R = make([]float64, len(s.R))
+	out.invR = make([]float64, len(s.R))
 	ptsCopy := make([]geom.Vec3, len(s.T.Points))
 	for i := range out.q {
-		out.q[i], out.R[i] = nan, nan
+		out.q[i], out.R[i], out.invR[i] = nan, nan, nan
 		ptsCopy[i] = geom.V(nan, nan, nan)
 	}
 	for _, node := range residentLeaves {
 		nd := &s.T.Nodes[node]
 		for i := nd.Start; i < nd.Start+nd.Count; i++ {
-			out.q[i], out.R[i] = s.q[i], s.R[i]
+			out.q[i], out.R[i], out.invR[i] = s.q[i], s.R[i], s.invR[i]
 			ptsCopy[i] = s.T.Points[i]
 		}
 	}
@@ -348,6 +406,15 @@ func (s *EpolSolver) Restrict(residentLeaves []int32) *EpolSolver {
 	tree.Points = ptsCopy
 	tree.FillSoA()
 	out.T = &tree
+	// Repack the vector-kernel row tables from the poisoned data — sharing
+	// them would let the amd64 near kernel read real values past the poison.
+	out.buildVecTables()
+	if s.f32 != nil {
+		// Rebuild the float32 mirrors from the poisoned data — a shared
+		// mirror would let the flat kernels read real coordinates and
+		// defeat the NaN-poison proof.
+		out.f32 = newEpolSoA32(&out)
+	}
 	return &out
 }
 
@@ -357,9 +424,16 @@ func (s *EpolSolver) SetResident(leaf int32, q, R []float64, pts []geom.Vec3) {
 	nd := &s.T.Nodes[leaf]
 	for k := int32(0); k < nd.Count; k++ {
 		i := nd.Start + k
-		s.q[i], s.R[i] = q[k], R[k]
+		s.q[i], s.R[i], s.invR[i] = q[k], R[k], 1/R[k]
 		s.T.Points[i] = pts[k]
 		s.T.X[i], s.T.Y[i], s.T.Z[i] = pts[k].X, pts[k].Y, pts[k].Z
+		s.uPos[4*i], s.uPos[4*i+1], s.uPos[4*i+2] = pts[k].X, pts[k].Y, pts[k].Z
+		s.uQRG[4*i], s.uQRG[4*i+1], s.uQRG[4*i+2] = q[k], R[k], -0.25*s.invR[i]
+		if s.f32 != nil {
+			s.f32.q[i], s.f32.r[i] = float32(q[k]), float32(R[k])
+			s.f32.ir[i] = float32(1 / R[k])
+			s.f32.x[i], s.f32.y[i], s.f32.z[i] = float32(pts[k].X), float32(pts[k].Y), float32(pts[k].Z)
+		}
 	}
 }
 
@@ -394,7 +468,7 @@ func (s *EpolSolver) neededVisit(u, v int32, out *[]int32) {
 		*out = append(*out, u)
 		return
 	}
-	if un.Center.Dist(vn.Center) > (un.Radius+vn.Radius)*s.sep {
+	if epolFar2(un.Center.Dist2(vn.Center), un.Radius, vn.Radius, s.sep2) {
 		return // far field: bins only, no atom data needed
 	}
 	for _, ch := range un.Children {

@@ -1,0 +1,162 @@
+#include "textflag.h"
+
+// Vectorized energy near-field kernel. See epolNearArgs in
+// epolnear_amd64.go for the argument block layout. For each entry of a
+// run (shared v-leaf tile, L1-resident), each u-row atom is broadcast
+// into six lane-splat registers and swept across the tile four atoms per
+// iteration. The GB pair term qᵢqⱼ/√(d² + RᵢRⱼ·e^(−d²/4RᵢRⱼ)) needs a
+// vector exponential: the same table-driven construction as expNeg
+// (fastexp.go) — e^x = 2^k·2^(j/128)·e^r with the scale factor assembled
+// in the bit pattern — using VGATHERQPD against ·exp2Bits for the table
+// lookup and a VFMADD213PD chain for the degree-4 tail. The argument is
+// clamped at −700 instead of flushed at −200: below −200 the e^x
+// contribution is ≤ 1e-87 of the surviving d² term, and −700 keeps
+// 2^k in the normal float64 range (no subnormal stalls, no bit-assembly
+// overflow). NaN arguments survive the clamp (the NaN is kept as the max
+// SECOND source) and propagate to the returned sum — the Restrict poison
+// proof depends on it.
+//
+// Register plan:
+//   BX/R15 entry cursor/end · CX/R13 row cursor/end · R10/R9 tile
+//   cursor/width · DI tile · R11 uPos · R8 uQRG · R14 uRange ·
+//   R12 exp2Bits · Y9..Y14 row splats (px py pz qᵢ Rᵢ gᵢ) ·
+//   Y15 global accumulator · Y0..Y8 pipeline temps · FP constants
+//   come in as m256 operands from RODATA.
+
+DATA epolInvL4<>+0(SB)/8, $0x40671547652B82FE // 128/ln2
+DATA epolInvL4<>+8(SB)/8, $0x40671547652B82FE
+DATA epolInvL4<>+16(SB)/8, $0x40671547652B82FE
+DATA epolInvL4<>+24(SB)/8, $0x40671547652B82FE
+GLOBL epolInvL4<>(SB), RODATA, $32
+
+DATA epolL4<>+0(SB)/8, $0x3F762E42FEFA39EF // ln2/128
+DATA epolL4<>+8(SB)/8, $0x3F762E42FEFA39EF
+DATA epolL4<>+16(SB)/8, $0x3F762E42FEFA39EF
+DATA epolL4<>+24(SB)/8, $0x3F762E42FEFA39EF
+GLOBL epolL4<>(SB), RODATA, $32
+
+DATA epolHalf4<>+0(SB)/8, $0x3FE0000000000000 // 0.5
+DATA epolHalf4<>+8(SB)/8, $0x3FE0000000000000
+DATA epolHalf4<>+16(SB)/8, $0x3FE0000000000000
+DATA epolHalf4<>+24(SB)/8, $0x3FE0000000000000
+GLOBL epolHalf4<>(SB), RODATA, $32
+
+DATA epolC6_4<>+0(SB)/8, $0x3FC5555555555555 // 1/6
+DATA epolC6_4<>+8(SB)/8, $0x3FC5555555555555
+DATA epolC6_4<>+16(SB)/8, $0x3FC5555555555555
+DATA epolC6_4<>+24(SB)/8, $0x3FC5555555555555
+GLOBL epolC6_4<>(SB), RODATA, $32
+
+DATA epolC24_4<>+0(SB)/8, $0x3FA5555555555555 // 1/24
+DATA epolC24_4<>+8(SB)/8, $0x3FA5555555555555
+DATA epolC24_4<>+16(SB)/8, $0x3FA5555555555555
+DATA epolC24_4<>+24(SB)/8, $0x3FA5555555555555
+GLOBL epolC24_4<>(SB), RODATA, $32
+
+DATA epolClamp4<>+0(SB)/8, $0xC085E00000000000 // -700.0
+DATA epolClamp4<>+8(SB)/8, $0xC085E00000000000
+DATA epolClamp4<>+16(SB)/8, $0xC085E00000000000
+DATA epolClamp4<>+24(SB)/8, $0xC085E00000000000
+GLOBL epolClamp4<>(SB), RODATA, $32
+
+DATA epolIdx4<>+0(SB)/8, $127 // table index mask
+DATA epolIdx4<>+8(SB)/8, $127
+DATA epolIdx4<>+16(SB)/8, $127
+DATA epolIdx4<>+24(SB)/8, $127
+GLOBL epolIdx4<>(SB), RODATA, $32
+
+// func epolNearRunAVX2(a *epolNearArgs) float64
+TEXT ·epolNearRunAVX2(SB), NOSPLIT, $0-16
+	MOVQ a+0(FP), AX
+	MOVQ 0(AX), DI             // tile
+	MOVQ 8(AX), BX             // entries cursor
+	MOVQ 16(AX), R15
+	SHLQ $3, R15
+	ADDQ BX, R15               // entries end
+	MOVQ 24(AX), R14           // uRange
+	MOVQ 32(AX), R11           // uPos
+	MOVQ 40(AX), R8            // uQRG
+	MOVQ 48(AX), R9
+	SHLQ $3, R9                // tile byte width (nv·8)
+	LEAQ ·exp2Bits(SB), R12
+	VXORPD Y15, Y15, Y15       // run accumulator
+
+entry:
+	CMPQ BX, R15
+	JGE  done
+	MOVLQSX 0(BX), AX          // u-leaf node id
+	MOVQ (R14)(AX*8), CX       // packed start|end<<32
+	MOVQ CX, R13
+	SHRQ $32, R13
+	MOVL CX, CX
+	SHLQ $5, CX                // row cursor, bytes into uPos/uQRG
+	SHLQ $5, R13               // row end
+
+row:
+	CMPQ CX, R13
+	JGE  rowsdone
+	VBROADCASTSD (R11)(CX*1), Y9    // pxᵢ
+	VBROADCASTSD 8(R11)(CX*1), Y10  // pyᵢ
+	VBROADCASTSD 16(R11)(CX*1), Y11 // pzᵢ
+	VBROADCASTSD (R8)(CX*1), Y12    // qᵢ
+	VBROADCASTSD 8(R8)(CX*1), Y13   // Rᵢ
+	VBROADCASTSD 16(R8)(CX*1), Y14  // gᵢ = −0.25/Rᵢ
+	XORQ R10, R10
+
+col:
+	VSUBPD (DI)(R10*1), Y9, Y0      // dx
+	VSUBPD 512(DI)(R10*1), Y10, Y1  // dy
+	VSUBPD 1024(DI)(R10*1), Y11, Y2 // dz
+	VMULPD Y0, Y0, Y3
+	VFMADD231PD Y1, Y1, Y3
+	VFMADD231PD Y2, Y2, Y3          // d²
+	VMULPD Y14, Y3, Y4              // d²·gᵢ
+	VMULPD 2560(DI)(R10*1), Y4, Y4  // x = (d²·gᵢ)·(1/Rⱼ)
+	// Clamp with x as the SECOND max source so a NaN x wins the max and
+	// the Restrict poison keeps propagating.
+	VMOVUPD epolClamp4<>(SB), Y5
+	VMAXPD Y4, Y5, Y4               // max(−700, x)
+	VMULPD epolInvL4<>(SB), Y4, Y5
+	VSUBPD epolHalf4<>(SB), Y5, Y5
+	VCVTTPD2DQY Y5, X5              // ki = trunc(x·128/ln2 − ½)
+	VCVTDQ2PD X5, Y6                // float64(ki)
+	VMOVAPD Y4, Y7
+	VFNMADD231PD epolL4<>(SB), Y6, Y7 // r = x − ki·(ln2/128)
+	VPMOVSXDQ X5, Y8                // ki widened to int64 lanes
+	VPAND epolIdx4<>(SB), Y8, Y2    // j = ki & 127
+	VPSUBQ Y2, Y8, Y8               // 128k = ki − j
+	VPSLLQ $45, Y8, Y8              // k shifted into the exponent field
+	VPCMPEQD Y0, Y0, Y0             // gather mask (consumed by the gather)
+	VGATHERQPD Y0, (R12)(Y2*8), Y1  // 2^(j/128) bit patterns
+	VPADDQ Y8, Y1, Y1               // sc = 2^k·2^(j/128)
+	VMULPD Y7, Y7, Y6               // r²
+	VMOVUPD epolC24_4<>(SB), Y5
+	VFMADD213PD epolC6_4<>(SB), Y7, Y5
+	VFMADD213PD epolHalf4<>(SB), Y7, Y5
+	VFMADD213PD Y7, Y6, Y5          // p = r + r²·(½ + r·(⅙ + r/24))
+	VFMADD213PD Y1, Y1, Y5          // e = sc + sc·p
+	VMULPD 2048(DI)(R10*1), Y13, Y4 // RᵢRⱼ
+	VMULPD Y5, Y4, Y4               // RᵢRⱼ·e
+	VADDPD Y3, Y4, Y4               // f² = d² + RᵢRⱼ·e
+	VSQRTPD Y4, Y4
+	VMULPD 1536(DI)(R10*1), Y12, Y3 // qᵢqⱼ
+	VDIVPD Y4, Y3, Y3               // term
+	VADDPD Y3, Y15, Y15
+	ADDQ $32, R10
+	CMPQ R10, R9
+	JLT  col
+	ADDQ $32, CX
+	JMP  row
+
+rowsdone:
+	ADDQ $8, BX
+	JMP  entry
+
+done:
+	VEXTRACTF128 $1, Y15, X1
+	VADDPD X1, X15, X15
+	VSHUFPD $1, X15, X15, X1
+	VADDSD X1, X15, X15
+	VMOVSD X15, ret+8(FP)
+	VZEROUPPER
+	RET

@@ -22,8 +22,8 @@ func (s *BornSolver) DualFrontier(minPairs int) [][2]int32 {
 		for i, pr := range queue {
 			a, q := pr[0], pr[1]
 			an, qn := &s.TA.Nodes[a], &s.TQ.Nodes[q]
-			d := an.Center.Dist(qn.Center)
-			if wellSeparated(d, an.Radius, qn.Radius, s.sepC) || (an.Leaf && qn.Leaf) {
+			d2 := an.Center.Dist2(qn.Center)
+			if wellSeparated2(d2, an.Radius, qn.Radius, s.sepK2) || (an.Leaf && qn.Leaf) {
 				continue // terminal; cannot expand
 			}
 			queue = append(queue[:i], queue[i+1:]...)
@@ -70,8 +70,8 @@ func (s *EpolSolver) EpolDualFrontier(minPairs int) [][2]int32 {
 		for i, pr := range queue {
 			u, v := pr[0], pr[1]
 			un, vn := &s.T.Nodes[u], &s.T.Nodes[v]
-			d := un.Center.Dist(vn.Center)
-			if (u != v && d > (un.Radius+vn.Radius)*s.sep) || (un.Leaf && vn.Leaf) {
+			d2 := un.Center.Dist2(vn.Center)
+			if (u != v && epolFar2(d2, un.Radius, vn.Radius, s.sep2)) || (un.Leaf && vn.Leaf) {
 				continue
 			}
 			queue = append(queue[:i], queue[i+1:]...)

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// Property suite for the hand-vectorized flat kernels: tile-boundary leaf
+// sizes against the recursive oracle, vector-vs-scalar dispatch parity,
+// the float32 tier's error budget, and allocation-freedom pins.
+
+// f32Budget bounds the reduced-precision tier against the f64 recursive
+// oracle. The tier stores inputs in float32 (~1.2e-7 ulp) and accumulates
+// in float64; the observed worst case is ~3e-7, so 5e-6 leaves headroom
+// without letting a broken kernel through.
+const f32Budget = 5e-6
+
+// TestFlatKernelsTileBoundarySizes sweeps octree leaf capacities that sit
+// on the vector kernels' tile and unroll boundaries (tile cap 64, lane
+// width 4): leaves of size 1, unroll−1/unroll/unroll+1, a non-multiple of
+// the unroll, and cap−1/cap/cap+1 (the latter falling back to the scalar
+// run path). Every combination must reproduce the recursive oracle to
+// 1e-12 (f64) and stay inside the tier budget (f32).
+func TestFlatKernelsTileBoundarySizes(t *testing.T) {
+	leafSizes := []int{1, 3, 4, 5, 7, 63, 64, 65}
+	if testing.Short() {
+		leafSizes = []int{1, 5, 64, 65}
+	}
+	for _, n := range []int{1, 6, 300} {
+		m, q := testMol(n, int64(301+n))
+		for _, leaf := range leafSizes {
+			t.Run(fmt.Sprintf("n=%d/leaf=%d", n, leaf), func(t *testing.T) {
+				for _, exp := range []int{6, 4} {
+					cfg := BornConfig{Eps: 0.9, Exponent: exp, LeafSize: leaf}
+					bs := NewBornSolver(m, q, cfg)
+
+					rn, ra := bs.NewAccumulators()
+					for l := 0; l < bs.NumQLeaves(); l++ {
+						bs.AccumulateQLeaf(l, rn, ra)
+					}
+					rRad := make([]float64, m.N())
+					bs.PushIntegrals(rn, ra, 0, int32(m.N()), rRad)
+
+					list := bs.BuildBornList(0, bs.NumQLeaves())
+					fn, fa := bs.NewAccumulators()
+					bs.EvalBornList(list, fn, fa)
+					assertClose(t, fmt.Sprintf("r%d sNode", exp), fn, rn)
+					assertClose(t, fmt.Sprintf("r%d sAtom", exp), fa, ra)
+
+					cfg.Precision = Float32
+					bs32 := NewBornSolver(m, q, cfg)
+					list32 := bs32.BuildBornList(0, bs32.NumQLeaves())
+					gn, ga := bs32.NewAccumulators()
+					bs32.EvalBornList(list32, gn, ga)
+					gRad := make([]float64, m.N())
+					bs32.PushIntegrals(gn, ga, 0, int32(m.N()), gRad)
+					for i := range gRad {
+						if e := relErr(gRad[i], rRad[i]); e > f32Budget {
+							t.Fatalf("r%d f32 radius[%d]: %v vs %v (rel %v)", exp, i, gRad[i], rRad[i], e)
+						}
+					}
+				}
+
+				R := treecodeRadii(m, q)
+				es := NewEpolSolverFromMolecule(m, R, EpolConfig{Eps: 0.9, LeafSize: leaf})
+				var rRaw float64
+				for l := 0; l < es.NumLeaves(); l++ {
+					e, _ := es.LeafEnergy(l)
+					rRaw += e
+				}
+				list := es.BuildEpolList(0, es.NumLeaves())
+				fRaw, _ := es.EvalEpolList(list)
+				if e := relErr(fRaw, rRaw); e > 1e-12 {
+					t.Fatalf("epol energy: flat %v vs recursive %v (rel %v)", fRaw, rRaw, e)
+				}
+
+				es32 := NewEpolSolverFromMolecule(m, R, EpolConfig{Eps: 0.9, LeafSize: leaf, Precision: Float32})
+				list32 := es32.BuildEpolList(0, es32.NumLeaves())
+				gRaw, _ := es32.EvalEpolList(list32)
+				if e := relErr(gRaw, rRaw); e > f32Budget {
+					t.Fatalf("epol f32 energy: %v vs %v (rel %v)", gRaw, rRaw, e)
+				}
+			})
+		}
+	}
+}
+
+// forceScalar disables the vector dispatch for the duration of fn.
+// Package tests run sequentially, so flipping the cached feature flag is
+// race-free.
+func forceScalar(fn func()) {
+	saved := hasAVX2FMA
+	hasAVX2FMA = false
+	defer func() { hasAVX2FMA = saved }()
+	fn()
+}
+
+// TestBornNearVecMatchesScalar pins the AVX2 Born near kernel against the
+// pure-Go scalar kernel on the same list: per-element agreement to 1e-12.
+// The near integrand subtracts two nearby reciprocals, so this is the
+// test that catches re-association breaking cancellation.
+func TestBornNearVecMatchesScalar(t *testing.T) {
+	if !hasAVX2FMA {
+		t.Skip("no AVX2+FMA; vector path unreachable")
+	}
+	for _, exp := range []int{6, 4} {
+		m, q := testMol(2000, int64(77+exp))
+		bs := NewBornSolver(m, q, BornConfig{Eps: 0.9, Exponent: exp})
+		list := bs.BuildBornList(0, bs.NumQLeaves())
+
+		_, va := bs.NewAccumulators()
+		bs.EvalBornNearRange(list, 0, len(list.Near), va)
+
+		_, sa := bs.NewAccumulators()
+		forceScalar(func() { bs.EvalBornNearRange(list, 0, len(list.Near), sa) })
+
+		for i := range va {
+			if e := relErr(va[i], sa[i]); e > 1e-12 {
+				t.Fatalf("r%d sAtom[%d]: vec %v vs scalar %v (rel %v)", exp, i, va[i], sa[i], e)
+			}
+		}
+	}
+}
+
+// TestEpolNearVecMatchesScalar pins the AVX2 energy near kernel (vector
+// exp, gathered 2^j table, Go-side self-pair correction) against the
+// scalar kernel on the same list.
+func TestEpolNearVecMatchesScalar(t *testing.T) {
+	if !hasAVX2FMA {
+		t.Skip("no AVX2+FMA; vector path unreachable")
+	}
+	m, q := testMol(2000, 79)
+	R := treecodeRadii(m, q)
+	es := NewEpolSolverFromMolecule(m, R, EpolConfig{Eps: 0.9})
+	list := es.BuildEpolList(0, es.NumLeaves())
+
+	vec := es.EvalEpolNearRange(list, 0, len(list.Near))
+	var scalar float64
+	forceScalar(func() { scalar = es.EvalEpolNearRange(list, 0, len(list.Near)) })
+	if e := relErr(vec, scalar); e > 1e-12 {
+		t.Fatalf("near sum: vec %v vs scalar %v (rel %v)", vec, scalar, e)
+	}
+}
+
+// TestKernelEvalZeroAllocs pins the flat evaluation hot paths at exactly
+// zero allocations per pass once the lists and accumulators exist, in
+// both storage tiers.
+func TestKernelEvalZeroAllocs(t *testing.T) {
+	m, q := testMol(2000, 83)
+	R := treecodeRadii(m, q)
+	for _, prec := range []Precision{Float64, Float32} {
+		bs := NewBornSolver(m, q, BornConfig{Eps: 0.9, Precision: prec})
+		bList := bs.BuildBornList(0, bs.NumQLeaves())
+		sN, sA := bs.NewAccumulators()
+		if allocs := testing.AllocsPerRun(3, func() {
+			bs.EvalBornList(bList, sN, sA)
+		}); allocs != 0 {
+			t.Errorf("%v EvalBornList: %v allocs/op, want 0", prec, allocs)
+		}
+
+		es := NewEpolSolverFromMolecule(m, R, EpolConfig{Eps: 0.9, Precision: prec})
+		eList := es.BuildEpolList(0, es.NumLeaves())
+		if allocs := testing.AllocsPerRun(3, func() {
+			raw, _ := es.EvalEpolList(eList)
+			_ = raw
+		}); allocs != 0 {
+			t.Errorf("%v EvalEpolList: %v allocs/op, want 0", prec, allocs)
+		}
+	}
+}
+
+// TestF32TierWithinBudget checks the reduced-precision tier end to end at
+// a realistic size: per-atom Born radii and the total energy against the
+// f64 solvers.
+func TestF32TierWithinBudget(t *testing.T) {
+	m, q := testMol(2000, 89)
+	bs := NewBornSolver(m, q, BornConfig{Eps: 0.9})
+	sN, sA := bs.NewAccumulators()
+	bs.EvalBornList(bs.BuildBornList(0, bs.NumQLeaves()), sN, sA)
+	rad := make([]float64, m.N())
+	bs.PushIntegrals(sN, sA, 0, int32(m.N()), rad)
+
+	bs32 := NewBornSolver(m, q, BornConfig{Eps: 0.9, Precision: Float32})
+	gN, gA := bs32.NewAccumulators()
+	bs32.EvalBornList(bs32.BuildBornList(0, bs32.NumQLeaves()), gN, gA)
+	rad32 := make([]float64, m.N())
+	bs32.PushIntegrals(gN, gA, 0, int32(m.N()), rad32)
+	worst := 0.0
+	for i := range rad {
+		if e := relErr(rad32[i], rad[i]); e > worst {
+			worst = e
+		}
+	}
+	if worst > f32Budget {
+		t.Errorf("f32 Born radii: worst rel err %v > %v", worst, f32Budget)
+	}
+
+	es := NewEpolSolverFromMolecule(m, rad, EpolConfig{Eps: 0.9})
+	raw, _ := es.EvalEpolList(es.BuildEpolList(0, es.NumLeaves()))
+	es32 := NewEpolSolverFromMolecule(m, rad, EpolConfig{Eps: 0.9, Precision: Float32})
+	raw32, _ := es32.EvalEpolList(es32.BuildEpolList(0, es32.NumLeaves()))
+	if e := relErr(raw32, raw); e > f32Budget {
+		t.Errorf("f32 energy: rel err %v > %v (raw %v vs %v)", e, f32Budget, raw32, raw)
+	}
+	if math.IsNaN(raw32) {
+		t.Error("f32 energy is NaN")
+	}
+}

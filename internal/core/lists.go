@@ -106,8 +106,8 @@ func (s *BornSolver) BuildBornListInto(l *InteractionList, qLo, qHi int) *Intera
 			a := p.A
 			l.stats.NodesVisited++
 			an := &s.TA.Nodes[a]
-			d := an.Center.Dist(qn.Center)
-			if wellSeparated(d, an.Radius, qn.Radius, s.sepC) {
+			d2 := an.Center.Dist2(qn.Center)
+			if wellSeparated2(d2, an.Radius, qn.Radius, s.sepK2) {
 				l.Far = append(l.Far, NodePair{a, q})
 				l.stats.FarEval++
 				continue
@@ -152,8 +152,8 @@ func (s *BornSolver) BuildBornDualListInto(l *InteractionList) *InteractionList 
 		l.stats.NodesVisited++
 		an := &s.TA.Nodes[a]
 		qn := &s.TQ.Nodes[q]
-		d := an.Center.Dist(qn.Center)
-		if wellSeparated(d, an.Radius, qn.Radius, s.sepC) {
+		d2 := an.Center.Dist2(qn.Center)
+		if wellSeparated2(d2, an.Radius, qn.Radius, s.sepK2) {
 			l.Far = append(l.Far, p)
 			l.stats.FarEval++
 			continue
@@ -181,13 +181,58 @@ func (s *BornSolver) BuildBornDualListInto(l *InteractionList) *InteractionList 
 
 // EvalBornNearPair evaluates one near-field list entry exactly: every
 // q-point under q against every atom under the T_A leaf a, accumulating
-// into sAtom (tree order). The q-side arrays are sliced to the leaf range
-// and clipped to a common length up front so the compiler proves the
-// inner-loop indexing in bounds and drops the per-element checks — the
-// loops then stream six contiguous float64 arrays with one branch (the
-// coincident-point guard, essentially never taken).
+// into sAtom (tree order).
 func (s *BornSolver) EvalBornNearPair(a, q int32, sAtom []float64) {
-	alo, ahi := s.TA.PointRange(a)
+	one := [1]NodePair{{a, q}}
+	if s.f32 != nil {
+		s.evalBornNearRunF32(one[:], q, sAtom)
+		return
+	}
+	s.evalBornNearRun(one[:], q, sAtom)
+}
+
+// EvalBornNearRange evaluates the near entries [lo, hi) of the list.
+// Entries accumulate into disjoint sAtom rows only when their T_A leaves
+// are disjoint; parallel callers must partition entries, not rows.
+//
+// The single-tree builder emits near entries in runs sharing a q-leaf, so
+// entries are processed run-blocked: the q-side tile (coordinates and
+// quadrature weights, ≤ LeafSize points — comfortably L1-resident) is
+// sliced once per run and swept over every atom row of every entry in
+// the run. Accumulation order is identical to the entry-at-a-time form.
+func (s *BornSolver) EvalBornNearRange(l *InteractionList, lo, hi int, sAtom []float64) {
+	near := l.Near[lo:hi]
+	if hasAVX2FMA && s.f32 == nil && len(near) > 0 {
+		s.evalBornNearRangeVec(near, sAtom)
+		return
+	}
+	for len(near) > 0 {
+		q := near[0].B
+		run := 1
+		for run < len(near) && near[run].B == q {
+			run++
+		}
+		if s.f32 != nil {
+			s.evalBornNearRunF32(near[:run], q, sAtom)
+		} else {
+			s.evalBornNearRun(near[:run], q, sAtom)
+		}
+		near = near[run:]
+	}
+}
+
+// evalBornNearRun evaluates a run of near entries sharing the q-leaf q.
+// This is the portable reference kernel: the q-side arrays are sliced to
+// the leaf range and clipped to a common length up front so the compiler
+// proves the inner-loop indexing in bounds and drops the per-element
+// checks, and each atom row sweeps the tile with a single scalar
+// accumulator. Leaves average only a handful of points (DefaultLeafSize
+// 16, median fill ~5), so the row loop is short and µop-issue-bound —
+// multi-row unroll-and-jam variants were measured slower here (the jam
+// spills loop invariants and reloads slice bases; see DESIGN.md §11).
+// On amd64 with AVX2+FMA the run is instead handed to the vector kernel
+// in bornnear_amd64.s, which jams rows in SIMD registers.
+func (s *BornSolver) evalBornNearRun(entries []NodePair, q int32, sAtom []float64) {
 	qlo, qhi := s.TQ.PointRange(q)
 	ax, ay, az := s.TA.X, s.TA.Y, s.TA.Z
 	qx := s.TQ.X[qlo:qhi]
@@ -197,43 +242,31 @@ func (s *BornSolver) EvalBornNearPair(a, q int32, sAtom []float64) {
 	wx := s.wnX[qlo:qhi][:n]
 	wy := s.wnY[qlo:qhi][:n]
 	wz := s.wnZ[qlo:qhi][:n]
-	if s.r4 {
+	r4 := s.r4
+	for _, p := range entries {
+		alo, ahi := s.TA.PointRange(p.A)
 		for i := alo; i < ahi; i++ {
 			px, py, pz := ax[i], ay[i], az[i]
 			var acc float64
-			for j := 0; j < n; j++ {
-				dx, dy, dz := qx[j]-px, qy[j]-py, qz[j]-pz
-				d2 := dx*dx + dy*dy + dz*dz
-				if d2 < 1e-12 {
-					continue // q-point coincides with the atom center
+			if r4 {
+				for j := 0; j < n; j++ {
+					dx, dy, dz := qx[j]-px, qy[j]-py, qz[j]-pz
+					d2 := dx*dx + dy*dy + dz*dz
+					if d2 >= 1e-12 {
+						acc += (wx[j]*dx + wy[j]*dy + wz[j]*dz) * (1 / (d2 * d2))
+					}
 				}
-				acc += (wx[j]*dx + wy[j]*dy + wz[j]*dz) * (1 / (d2 * d2))
+			} else {
+				for j := 0; j < n; j++ {
+					dx, dy, dz := qx[j]-px, qy[j]-py, qz[j]-pz
+					d2 := dx*dx + dy*dy + dz*dz
+					if d2 >= 1e-12 {
+						acc += (wx[j]*dx + wy[j]*dy + wz[j]*dz) * (1 / (d2 * d2 * d2))
+					}
+				}
 			}
 			sAtom[i] += acc
 		}
-		return
-	}
-	for i := alo; i < ahi; i++ {
-		px, py, pz := ax[i], ay[i], az[i]
-		var acc float64
-		for j := 0; j < n; j++ {
-			dx, dy, dz := qx[j]-px, qy[j]-py, qz[j]-pz
-			d2 := dx*dx + dy*dy + dz*dz
-			if d2 < 1e-12 {
-				continue
-			}
-			acc += (wx[j]*dx + wy[j]*dy + wz[j]*dz) * (1 / (d2 * d2 * d2))
-		}
-		sAtom[i] += acc
-	}
-}
-
-// EvalBornNearRange evaluates the near entries [lo, hi) of the list.
-// Entries accumulate into disjoint sAtom rows only when their T_A leaves
-// are disjoint; parallel callers must partition entries, not rows.
-func (s *BornSolver) EvalBornNearRange(l *InteractionList, lo, hi int, sAtom []float64) {
-	for _, p := range l.Near[lo:hi] {
-		s.EvalBornNearPair(p.A, p.B, sAtom)
 	}
 }
 
@@ -245,6 +278,14 @@ func (s *BornSolver) EvalBornNearRange(l *InteractionList, lo, hi int, sAtom []f
 // mirrors rather than via the recursion's sqrt (the values differ from
 // the oracle only in the last couple of ulps).
 func (s *BornSolver) EvalBornFarRange(l *InteractionList, lo, hi int, sNode []float64) {
+	if s.f32 != nil {
+		s.evalBornFarRangeF32(l, lo, hi, sNode)
+		return
+	}
+	if hasAVX2FMA && lo < hi {
+		s.evalBornFarRangeVec(l.Far[lo:hi], sNode)
+		return
+	}
 	far := l.Far[lo:hi]
 	acx, acy, acz := s.TA.CX, s.TA.CY, s.TA.CZ
 	qcx, qcy, qcz := s.TQ.CX, s.TQ.CY, s.TQ.CZ
@@ -310,6 +351,7 @@ func buildEpolLeafList(l *InteractionList, t *octree.Tree, sep float64, vLo, vHi
 	if len(t.Nodes) == 0 {
 		return l
 	}
+	sep2 := sep * sep // same squared constant the solver stores
 	var stack pairStack
 	for vl := vLo; vl < vHi; vl++ {
 		v := t.LeafIdx[vl]
@@ -326,8 +368,8 @@ func buildEpolLeafList(l *InteractionList, t *octree.Tree, sep float64, vLo, vHi
 				l.stats.NearPairs += int64(un.Count) * int64(vn.Count)
 				continue
 			}
-			d := un.Center.Dist(vn.Center)
-			if d > (un.Radius+vn.Radius)*sep {
+			d2 := un.Center.Dist2(vn.Center)
+			if epolFar2(d2, un.Radius, vn.Radius, sep2) {
 				l.Far = append(l.Far, NodePair{u, v})
 				if nnz != nil {
 					l.stats.FarEval += nnz(u) * nnz(v)
@@ -395,8 +437,8 @@ func (s *EpolSolver) BuildEpolDualListInto(l *InteractionList) *InteractionList 
 		l.stats.NodesVisited++
 		un := &s.T.Nodes[u]
 		vn := &s.T.Nodes[v]
-		d := un.Center.Dist(vn.Center)
-		if u != v && d > (un.Radius+vn.Radius)*s.sep {
+		d2 := un.Center.Dist2(vn.Center)
+		if u != v && epolFar2(d2, un.Radius, vn.Radius, s.sep2) {
 			l.Far = append(l.Far, p)
 			l.stats.FarEval += s.nnz(u) * s.nnz(v)
 			continue
@@ -431,11 +473,32 @@ func (s *EpolSolver) nnz(n int32) int64 {
 
 // EvalEpolNearPair evaluates one exact near-field entry: all ordered atom
 // pairs (u-leaf rows × v-leaf columns), including self pairs when the
-// leaves coincide. Returns the raw (unscaled) sum. The v-side arrays are
-// pre-sliced to the leaf range (bounds checks hoisted); the self-pair
-// test compares against the row's index within the slice.
+// leaves coincide. Returns the raw (unscaled) sum.
 func (s *EpolSolver) EvalEpolNearPair(u, v int32) float64 {
-	ulo, uhi := s.T.PointRange(u)
+	one := [1]NodePair{{u, v}}
+	switch {
+	case s.f32 != nil:
+		return s.evalEpolNearRunF32(one[:], v)
+	case s.cfg.Math == gb.Approximate:
+		return s.evalEpolNearRunApprox(one[:], v)
+	}
+	return s.evalEpolNearRun(one[:], v)
+}
+
+// evalEpolNearRun evaluates a run of near entries sharing the v-leaf v in
+// Exact math. The v-side tile (positions, charges, Born radii — ≤ LeafSize
+// atoms, L1-resident) is sliced once per run; u-leaf rows are unrolled
+// two-wide with independent accumulator chains so the sqrt/divide unit
+// pipelines across rows (wider jams lose to register spills: every lane's
+// invariants are f64 and x86-64 has 16 XMM registers). The self-pair term
+// is handled by conditional overwrite inside the lane (the smooth kernel
+// already evaluates to qi²/R_i at d²=0 up to rounding; the overwrite keeps
+// it exact), which keeps the inner loop free of a taken branch. Two
+// divider-port operations are removed per term: exp(−d²/4RᵢRⱼ) uses the
+// inlined expNeg polynomial (fastexp.go) instead of the opaque math.Exp
+// call, and its argument is formed as (d²·(−0.25·invRᵢ))·invRⱼ from the
+// precomputed reciprocal radii instead of dividing.
+func (s *EpolSolver) evalEpolNearRun(entries []NodePair, v int32) float64 {
 	vlo, vhi := s.T.PointRange(v)
 	x, y, z := s.T.X, s.T.Y, s.T.Z
 	xv := x[vlo:vhi]
@@ -444,36 +507,117 @@ func (s *EpolSolver) EvalEpolNearPair(u, v int32) float64 {
 	zv := z[vlo:vhi][:n]
 	qv := s.q[vlo:vhi][:n]
 	Rv := s.R[vlo:vhi][:n]
+	iv := s.invR[vlo:vhi][:n]
 	var sum float64
-	if s.cfg.Math == gb.Approximate {
-		for i := ulo; i < uhi; i++ {
-			px, py, pz, qi, ri := x[i], y[i], z[i], s.q[i], s.R[i]
-			diag := int(i - vlo)
+	for _, p := range entries {
+		ulo, uhi := s.T.PointRange(p.A)
+		i := ulo
+		for ; i+2 <= uhi; i += 2 {
+			px0, py0, pz0, q0, r0 := x[i], y[i], z[i], s.q[i], s.R[i]
+			px1, py1, pz1, q1, r1 := x[i+1], y[i+1], z[i+1], s.q[i+1], s.R[i+1]
+			g0 := -0.25 * s.invR[i]
+			g1 := -0.25 * s.invR[i+1]
+			d0 := int(i - vlo)
+			var c0, c1 float64
 			for j := 0; j < n; j++ {
-				if j == diag {
-					sum += qi * qi / ri
-					continue
+				xj, yj, zj := xv[j], yv[j], zv[j]
+				qj, rj, irj := qv[j], Rv[j], iv[j]
+				dx, dy, dz := px0-xj, py0-yj, pz0-zj
+				d2 := dx*dx + dy*dy + dz*dz
+				t := q0 * qj / math.Sqrt(d2+r0*rj*expNeg(d2*g0*irj))
+				if j == d0 {
+					t = q0 * q0 / r0
 				}
+				c0 += t
+				dx, dy, dz = px1-xj, py1-yj, pz1-zj
+				d2 = dx*dx + dy*dy + dz*dz
+				t = q1 * qj / math.Sqrt(d2+r1*rj*expNeg(d2*g1*irj))
+				if j == d0+1 {
+					t = q1 * q1 / r1
+				}
+				c1 += t
+			}
+			sum += c0 + c1
+		}
+		for ; i < uhi; i++ {
+			px, py, pz, qi, ri := x[i], y[i], z[i], s.q[i], s.R[i]
+			gi := -0.25 * s.invR[i]
+			diag := int(i - vlo)
+			var acc float64
+			for j := 0; j < n; j++ {
 				dx, dy, dz := px-xv[j], py-yv[j], pz-zv[j]
 				d2 := dx*dx + dy*dy + dz*dz
-				rr := ri * Rv[j]
-				sum += qi * qv[j] * gb.FastInvSqrt(d2+rr*gb.FastExp(-d2/(4*rr)))
+				t := qi * qv[j] / math.Sqrt(d2+ri*Rv[j]*expNeg(d2*gi*iv[j]))
+				if j == diag {
+					t = qi * qi / ri
+				}
+				acc += t
 			}
+			sum += acc
 		}
-		return sum
 	}
-	for i := ulo; i < uhi; i++ {
-		px, py, pz, qi, ri := x[i], y[i], z[i], s.q[i], s.R[i]
-		diag := int(i - vlo)
-		for j := 0; j < n; j++ {
-			if j == diag {
-				sum += qi * qi / ri
-				continue
+	return sum
+}
+
+// evalEpolNearRunApprox is evalEpolNearRun in Approximate math
+// (rsqrt-seeded Newton inverse square root and the table-free exp
+// surrogate from internal/gb).
+func (s *EpolSolver) evalEpolNearRunApprox(entries []NodePair, v int32) float64 {
+	vlo, vhi := s.T.PointRange(v)
+	x, y, z := s.T.X, s.T.Y, s.T.Z
+	xv := x[vlo:vhi]
+	n := len(xv)
+	yv := y[vlo:vhi][:n]
+	zv := z[vlo:vhi][:n]
+	qv := s.q[vlo:vhi][:n]
+	Rv := s.R[vlo:vhi][:n]
+	iv := s.invR[vlo:vhi][:n]
+	var sum float64
+	for _, p := range entries {
+		ulo, uhi := s.T.PointRange(p.A)
+		i := ulo
+		for ; i+2 <= uhi; i += 2 {
+			px0, py0, pz0, q0, r0 := x[i], y[i], z[i], s.q[i], s.R[i]
+			px1, py1, pz1, q1, r1 := x[i+1], y[i+1], z[i+1], s.q[i+1], s.R[i+1]
+			g0 := -0.25 * s.invR[i]
+			g1 := -0.25 * s.invR[i+1]
+			d0 := int(i - vlo)
+			var c0, c1 float64
+			for j := 0; j < n; j++ {
+				xj, yj, zj := xv[j], yv[j], zv[j]
+				qj, rj, irj := qv[j], Rv[j], iv[j]
+				dx, dy, dz := px0-xj, py0-yj, pz0-zj
+				d2 := dx*dx + dy*dy + dz*dz
+				t := q0 * qj * gb.FastInvSqrt(d2+r0*rj*gb.FastExp(d2*g0*irj))
+				if j == d0 {
+					t = q0 * q0 / r0
+				}
+				c0 += t
+				dx, dy, dz = px1-xj, py1-yj, pz1-zj
+				d2 = dx*dx + dy*dy + dz*dz
+				t = q1 * qj * gb.FastInvSqrt(d2+r1*rj*gb.FastExp(d2*g1*irj))
+				if j == d0+1 {
+					t = q1 * q1 / r1
+				}
+				c1 += t
 			}
-			dx, dy, dz := px-xv[j], py-yv[j], pz-zv[j]
-			d2 := dx*dx + dy*dy + dz*dz
-			rr := ri * Rv[j]
-			sum += qi * qv[j] / math.Sqrt(d2+rr*math.Exp(-d2/(4*rr)))
+			sum += c0 + c1
+		}
+		for ; i < uhi; i++ {
+			px, py, pz, qi, ri := x[i], y[i], z[i], s.q[i], s.R[i]
+			gi := -0.25 * s.invR[i]
+			diag := int(i - vlo)
+			var acc float64
+			for j := 0; j < n; j++ {
+				dx, dy, dz := px-xv[j], py-yv[j], pz-zv[j]
+				d2 := dx*dx + dy*dy + dz*dz
+				t := qi * qv[j] * gb.FastInvSqrt(d2+ri*Rv[j]*gb.FastExp(d2*gi*iv[j]))
+				if j == diag {
+					t = qi * qi / ri
+				}
+				acc += t
+			}
+			sum += acc
 		}
 	}
 	return sum
@@ -510,11 +654,32 @@ func (s *EpolSolver) EvalEpolFarPair(u, v int32) float64 {
 	return sum
 }
 
-// EvalEpolNearRange sums the near entries [lo, hi) of the list.
+// EvalEpolNearRange sums the near entries [lo, hi) of the list. The
+// leaf-driven builder emits near entries in runs sharing a v-leaf, so
+// entries are processed run-blocked: the v-side tile is sliced once per
+// run and swept over every u-row of every entry in the run.
 func (s *EpolSolver) EvalEpolNearRange(l *InteractionList, lo, hi int) float64 {
+	near := l.Near[lo:hi]
+	if hasAVX2FMA && s.f32 == nil && s.cfg.Math != gb.Approximate &&
+		len(near) > 0 && len(s.uPos) > 0 {
+		return s.evalEpolNearRangeVec(near)
+	}
 	var sum float64
-	for _, p := range l.Near[lo:hi] {
-		sum += s.EvalEpolNearPair(p.A, p.B)
+	for len(near) > 0 {
+		v := near[0].B
+		run := 1
+		for run < len(near) && near[run].B == v {
+			run++
+		}
+		switch {
+		case s.f32 != nil:
+			sum += s.evalEpolNearRunF32(near[:run], v)
+		case s.cfg.Math == gb.Approximate:
+			sum += s.evalEpolNearRunApprox(near[:run], v)
+		default:
+			sum += s.evalEpolNearRun(near[:run], v)
+		}
+		near = near[run:]
 	}
 	return sum
 }
@@ -522,6 +687,12 @@ func (s *EpolSolver) EvalEpolNearRange(l *InteractionList, lo, hi int) float64 {
 // EvalEpolFarRange sums the far entries [lo, hi) of the list.
 func (s *EpolSolver) EvalEpolFarRange(l *InteractionList, lo, hi int) float64 {
 	var sum float64
+	if s.f32 != nil {
+		for _, p := range l.Far[lo:hi] {
+			sum += s.evalEpolFarPairF32(p.A, p.B)
+		}
+		return sum
+	}
 	for _, p := range l.Far[lo:hi] {
 		sum += s.EvalEpolFarPair(p.A, p.B)
 	}

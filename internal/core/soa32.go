@@ -1,0 +1,149 @@
+package core
+
+// This file holds the reduced-precision storage tier: float32 mirrors of
+// every array the flat evaluation kernels stream. Positions, radii,
+// charges and per-node aggregates are stored (and their arithmetic done)
+// in float32; accumulation stays float64 (kernels32.go), so the tier's
+// error is storage quantization, not summation drift. The mirrors are
+// built once at solver construction when the config selects
+// Precision == Float32 — the octrees, interaction lists and Stats are
+// always built from the float64 geometry, so a float32 solver makes
+// exactly the same near/far decisions as its float64 twin and the two
+// tiers stay list-compatible (the serve cache can hold either).
+
+// Precision selects the storage/arithmetic tier of the flat evaluation
+// kernels. Float64 is the default (and the recursive oracle's tier);
+// Float32 stores coordinates, radii and charges in float32 and runs the
+// kernel arithmetic in float32 with float64 accumulation, trading ~1e-6
+// relative error (see DESIGN.md §11) for half the hot-path memory
+// footprint. Note that only the float64 tier has the hand-written AVX2
+// kernels, so on amd64 it is usually also the faster one; the tier's win
+// is resident-set size (e.g. more cache entries in the serving layer).
+type Precision uint8
+
+const (
+	Float64 Precision = iota
+	Float32
+)
+
+// String returns the tier label used by flags, /stats and metric labels.
+func (p Precision) String() string {
+	if p == Float32 {
+		return "f32"
+	}
+	return "f64"
+}
+
+// ParsePrecision parses a tier label ("f64", "f32", ""). Empty means
+// Float64. ok is false for anything else.
+func ParsePrecision(s string) (Precision, bool) {
+	switch s {
+	case "", "f64", "float64":
+		return Float64, true
+	case "f32", "float32":
+		return Float32, true
+	}
+	return Float64, false
+}
+
+func f32of(src []float64) []float32 {
+	out := make([]float32, len(src))
+	for i, v := range src {
+		out[i] = float32(v)
+	}
+	return out
+}
+
+func recipOf(src []float64) []float64 {
+	out := make([]float64, len(src))
+	for i, v := range src {
+		out[i] = 1 / v
+	}
+	return out
+}
+
+// bornSoA32 mirrors every array the flat Born kernels touch.
+type bornSoA32 struct {
+	ax, ay, az    []float32 // T_A point positions, tree order
+	qx, qy, qz    []float32 // T_Q point positions, tree order
+	wx, wy, wz    []float32 // w_q·n_q per q-point
+	acx, acy, acz []float32 // T_A node centers
+	qcx, qcy, qcz []float32 // T_Q node centers
+	wnx, wny, wnz []float32 // ñ_Q per T_Q node
+}
+
+func newBornSoA32(s *BornSolver) *bornSoA32 {
+	return &bornSoA32{
+		ax: f32of(s.TA.X), ay: f32of(s.TA.Y), az: f32of(s.TA.Z),
+		qx: f32of(s.TQ.X), qy: f32of(s.TQ.Y), qz: f32of(s.TQ.Z),
+		wx: f32of(s.wnX), wy: f32of(s.wnY), wz: f32of(s.wnZ),
+		acx: f32of(s.TA.CX), acy: f32of(s.TA.CY), acz: f32of(s.TA.CZ),
+		qcx: f32of(s.TQ.CX), qcy: f32of(s.TQ.CY), qcz: f32of(s.TQ.CZ),
+		wnx: f32of(s.wnNX), wny: f32of(s.wnNY), wnz: f32of(s.wnNZ),
+	}
+}
+
+func (m *bornSoA32) memoryBytes() int64 {
+	n := len(m.ax)*3 + len(m.qx)*3 + len(m.wx)*3 +
+		len(m.acx)*3 + len(m.qcx)*3 + len(m.wnx)*3
+	return int64(n) * 4
+}
+
+// epolSoA32 mirrors every array the flat energy kernels touch.
+type epolSoA32 struct {
+	x, y, z    []float32 // atom positions, tree order
+	q, r, ir   []float32 // charges, Born radii and reciprocal radii
+	cx, cy, cz []float32 // node centers
+	nzQ        []float32 // compressed nonzero-bin charge sums
+	binRR      []float32 // R_min²(1+ε)^s bin-pair products
+}
+
+func newEpolSoA32(s *EpolSolver) *epolSoA32 {
+	return &epolSoA32{
+		x: f32of(s.T.X), y: f32of(s.T.Y), z: f32of(s.T.Z),
+		q: f32of(s.q), r: f32of(s.R), ir: f32of(s.invR),
+		cx: f32of(s.T.CX), cy: f32of(s.T.CY), cz: f32of(s.T.CZ),
+		nzQ:   f32of(s.nzQ),
+		binRR: f32of(s.binRR),
+	}
+}
+
+func (m *epolSoA32) memoryBytes() int64 {
+	n := len(m.x)*3 + len(m.q)*3 + len(m.cx)*3 + len(m.nzQ) + len(m.binRR)
+	return int64(n) * 4
+}
+
+// TierBytes returns the extra resident bytes the reduced-precision storage
+// tier holds (0 on the Float64 tier) — engine.Prepared.MemoryBytes adds it
+// to the serve cache's byte charge.
+func (s *BornSolver) TierBytes() int64 {
+	if s.f32 == nil {
+		return 0
+	}
+	return s.f32.memoryBytes()
+}
+
+// TierBytes returns the extra resident bytes the reduced-precision storage
+// tier holds (0 on the Float64 tier).
+func (s *EpolSolver) TierBytes() int64 {
+	if s.f32 == nil {
+		return 0
+	}
+	return s.f32.memoryBytes()
+}
+
+// Precision returns the solver's storage tier.
+func (s *BornSolver) Precision() Precision {
+	if s.f32 != nil {
+		return Float32
+	}
+	return Float64
+}
+
+// Precision returns the solver's storage tier.
+func (s *EpolSolver) Precision() Precision {
+	if s.f32 != nil {
+		return Float32
+	}
+	return Float64
+}

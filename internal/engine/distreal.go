@@ -82,7 +82,7 @@ type distDataSetup struct {
 func newDistDataSetup(pr *Problem, P int, o Options) *distDataSetup {
 	s := &distDataSetup{useFlat: o.UseFlatKernels.enabled(true)}
 	// Born radii via the standard replicated pipeline.
-	bc := core.BornConfig{Eps: o.BornEps, CriterionPower: o.CriterionPower, LeafSize: o.LeafSize}
+	bc := core.BornConfig{Eps: o.BornEps, CriterionPower: o.CriterionPower, LeafSize: o.LeafSize, Precision: o.Precision}
 	bs := core.NewBornSolver(pr.Mol, pr.QPts, bc)
 	sNode, sAtom := bs.NewAccumulators()
 	if s.useFlat {
@@ -95,7 +95,7 @@ func newDistDataSetup(pr *Problem, P int, o Options) *distDataSetup {
 	rTree := make([]float64, pr.Mol.N())
 	bs.PushIntegrals(sNode, sAtom, 0, int32(pr.Mol.N()), rTree)
 	R := bs.RadiiToOriginal(rTree)
-	s.full = core.NewEpolSolver(bs.TA, pr.Charges, R, core.EpolConfig{Eps: o.EpolEps, Math: o.Math})
+	s.full = core.NewEpolSolver(bs.TA, pr.Charges, R, core.EpolConfig{Eps: o.EpolEps, Math: o.Math, Precision: o.Precision})
 
 	nLeaves := s.full.NumLeaves()
 	s.segs = partition.Even(nLeaves, P)

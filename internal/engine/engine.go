@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"time"
 
+	"octgb/internal/core"
 	"octgb/internal/gb"
 	"octgb/internal/molecule"
 	"octgb/internal/obs"
@@ -101,6 +102,13 @@ type Options struct {
 	BornEps, EpolEps float64
 	// Math selects exact or approximate sqrt/exp.
 	Math gb.MathMode
+	// Precision selects the flat kernels' storage tier: core.Float64 (the
+	// default, oracle-parity) or core.Float32 (float32 storage and
+	// arithmetic with float64 accumulation — ~1e-6 relative error for
+	// half the hot-path memory traffic; see DESIGN.md §11). Applies to
+	// both phases: Prepare builds the Born solver's mirrors, EvalEpol the
+	// energy solver's.
+	Precision core.Precision
 	// LeafSize is the octree leaf capacity (0 = default).
 	LeafSize int
 	// CriterionPower selects the Born well-separatedness criterion

@@ -66,7 +66,7 @@ func NewProblemFromSurface(mol *molecule.Molecule, qpts []surface.QPoint) *Probl
 // with (*Prepared).evalEpol, so the cold path and the cached path execute
 // identical code.
 func prepareCilk(pr *Problem, o Options) *Prepared {
-	bc := core.BornConfig{Eps: o.BornEps, CriterionPower: o.CriterionPower, LeafSize: o.LeafSize}
+	bc := core.BornConfig{Eps: o.BornEps, CriterionPower: o.CriterionPower, LeafSize: o.LeafSize, Precision: o.Precision}
 	buildStart := time.Now()
 	bs := core.NewBornSolver(pr.Mol, pr.QPts, bc)
 	observeBuild(o.Observe, buildStart, time.Since(buildStart))
@@ -152,7 +152,7 @@ func (p *Prepared) evalEpol(o Options) RealReport {
 		BornRadii: p.BornRadii,
 		BornStats: p.BornStats,
 	}
-	es := core.NewEpolSolver(p.bs.TA, p.Pr.Charges, p.BornRadii, core.EpolConfig{Eps: o.EpolEps, Math: o.Math})
+	es := core.NewEpolSolver(p.bs.TA, p.Pr.Charges, p.BornRadii, core.EpolConfig{Eps: o.EpolEps, Math: o.Math, Precision: o.Precision})
 	pool := sched.NewPool(o.Threads)
 	var raw float64
 	var s2 sched.Stats
@@ -208,5 +208,6 @@ func (p *Prepared) MemoryBytes() int64 {
 	size += q * (vec3Bytes + 3*floatBytes)      // wn + SoA mirrors
 	size += nodesQ * (vec3Bytes + 3*floatBytes) // nodeWN + SoA mirrors
 	size += n * 3 * floatBytes                  // radii, charges, atomR
+	size += p.bs.TierBytes()                    // f32 storage-tier mirrors
 	return size
 }

@@ -201,7 +201,7 @@ func runCilkReal(pr *Problem, o Options) RealReport {
 func RunRank(c cluster.Comm, pr *Problem, o Options) (RealReport, error) {
 	o = o.withDefaults(OctMPICilk)
 	o.Ranks = c.Size()
-	bc := core.BornConfig{Eps: o.BornEps, CriterionPower: o.CriterionPower, LeafSize: o.LeafSize}
+	bc := core.BornConfig{Eps: o.BornEps, CriterionPower: o.CriterionPower, LeafSize: o.LeafSize, Precision: o.Precision}
 	buildStart := time.Now()
 	bs := core.NewBornSolver(pr.Mol, pr.QPts, bc)
 	observeBuild(o.Observe, buildStart, time.Since(buildStart))
@@ -217,7 +217,7 @@ func RunRank(c cluster.Comm, pr *Problem, o Options) (RealReport, error) {
 func runDistributedReal(pr *Problem, o Options) (RealReport, error) {
 	// Step 1: octrees. Built once; immutable thereafter (in-process ranks
 	// share them, see RunReal doc).
-	bc := core.BornConfig{Eps: o.BornEps, CriterionPower: o.CriterionPower, LeafSize: o.LeafSize}
+	bc := core.BornConfig{Eps: o.BornEps, CriterionPower: o.CriterionPower, LeafSize: o.LeafSize, Precision: o.Precision}
 	buildStart := time.Now()
 	bs := core.NewBornSolver(pr.Mol, pr.QPts, bc)
 	observeBuild(o.Observe, buildStart, time.Since(buildStart))
@@ -361,7 +361,7 @@ func runRank(c cluster.Comm, bs *core.BornSolver, pr *Problem, o Options) (RealR
 		counts[r] = partition.ForRank(n, P, r).Len()
 	}
 	rFull := make([]float64, n)
-	ecfg := core.EpolConfig{Eps: o.EpolEps, Math: o.Math}
+	ecfg := core.EpolConfig{Eps: o.EpolEps, Math: o.Math, Precision: o.Precision}
 	lseg := partition.ForRank(bs.TA.NumLeaves(), P, rank)
 	var skel *core.InteractionList
 	if useTopo && useFlat {

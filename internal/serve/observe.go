@@ -5,6 +5,7 @@ import (
 	"net/http/pprof"
 	"time"
 
+	"octgb/internal/core"
 	"octgb/internal/obs"
 )
 
@@ -31,7 +32,8 @@ type serveObs struct {
 	queueWait *obs.Histogram
 	surface   *obs.Histogram
 	prepare   *obs.Histogram
-	eval      *obs.Histogram
+	evalF64   *obs.Histogram
+	evalF32   *obs.Histogram
 	batch     *obs.Histogram
 }
 
@@ -46,9 +48,19 @@ func newServeObs(ob *obs.Observer) serveObs {
 		queueWait: ob.Histogram(queueMetric, "", queueHelp),
 		surface:   ob.Histogram(stageMetric, `stage="surface"`, stageHelp),
 		prepare:   ob.Histogram(stageMetric, `stage="prepare"`, stageHelp),
-		eval:      ob.Histogram(stageMetric, `stage="eval"`, stageHelp),
+		evalF64:   ob.Histogram(stageMetric, `stage="eval",precision="f64"`, stageHelp),
+		evalF32:   ob.Histogram(stageMetric, `stage="eval",precision="f32"`, stageHelp),
 		batch:     ob.Histogram(stageMetric, `stage="batch"`, stageHelp),
 	}
+}
+
+// evalHist returns the eval-stage histogram of the given storage tier, so
+// /metrics separates f64 and f32 evaluation latency series.
+func (so *serveObs) evalHist(p core.Precision) *obs.Histogram {
+	if p == core.Float32 {
+		return so.evalF32
+	}
+	return so.evalF64
 }
 
 // spanID mints a request's root span ID up front so child stages can parent
