@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build vet staticcheck test race fuzz chaos obs-smoke bench bench-kernels bench-kernels-check bench-comm serve-bench
+.PHONY: verify build vet staticcheck test race fuzz chaos obs-smoke bench bench-kernels bench-kernels-check bench-comm serve-bench bench-stream bench-stream-check
 
 ## verify: the tier-1 gate — build, vet (+staticcheck when installed), full
 ## tests, race-test the concurrency-bearing packages (scheduler, treecode
@@ -78,3 +78,17 @@ bench-comm:
 ## batched pose sweep vs sequential single requests).
 serve-bench:
 	$(GO) run ./cmd/benchserve -o BENCH_serve.json
+
+## bench-stream: regenerate the committed BENCH_stream.json incremental-
+## evaluation report (steady-state session frame vs from-scratch
+## re-evaluation, session build cost, frame-speedup headline).
+bench-stream:
+	$(GO) run ./cmd/benchstream -o BENCH_stream.json
+
+## bench-stream-check: perf regression gate — re-run the stream benchmarks
+## (min of 3 reps each) and fail if any is >15% ns/op slower than the
+## committed BENCH_stream.json, gained an allocation, or the incremental
+## frame speedup fell below the 5x acceptance floor. Run on an
+## otherwise-idle machine.
+bench-stream-check:
+	$(GO) run ./cmd/benchstream -check -o BENCH_stream.json

@@ -189,7 +189,8 @@ func SampleSurface(mol *Molecule, so SurfaceOptions) []QPoint {
 }
 
 // Serving layer: a resident HTTP/JSON evaluation service with a
-// prepared-problem cache, pose-sweep batching and admission control
+// prepared-problem cache, pose-sweep batching, stateful /v1/stream
+// sessions for incremental evaluation, and admission control
 // (cmd/epolserve is the command-line wrapper). See the serve package docs
 // for endpoints and configuration.
 type (
@@ -228,4 +229,32 @@ func NewObserver() *Observer { return obs.New() }
 // repeating it.
 func Prepare(pr *Problem, o EngineOptions) (*Prepared, error) {
 	return engine.Prepare(pr, o)
+}
+
+// Incremental evaluation: a Session holds a molecule's surface, octrees
+// and cached interaction values resident so a stream of small coordinate
+// updates (a flexible loop, a refining docking pose) re-evaluates only the
+// dirty region instead of rebuilding from scratch. Served over HTTP as the
+// stateful /v1/stream endpoint (see ServeConfig.MaxSessions). See the
+// engine package docs and DESIGN.md §12.
+type (
+	// Session is a resident incremental evaluation state for one molecule.
+	Session = engine.Session
+	// SessionOptions configures a Session (resweep cadence, slack margins,
+	// radius staleness tolerance).
+	SessionOptions = engine.SessionOptions
+	// AtomMove is one atom's new absolute position within a FrameDelta.
+	AtomMove = engine.AtomMove
+	// FrameDelta is one frame of a coordinate stream: the atoms that moved.
+	FrameDelta = engine.FrameDelta
+	// FrameReport describes what one Session.Step did (energy, dirty-set
+	// counters, resweep/refresh markers).
+	FrameReport = engine.FrameReport
+)
+
+// NewSession builds an incremental evaluation session: it samples the
+// surface, builds both treecode solvers with slack margins and evaluates
+// the initial energy. Step then applies per-frame deltas.
+func NewSession(mol *Molecule, o SessionOptions) (*Session, error) {
+	return engine.NewSession(mol, o)
 }

@@ -23,6 +23,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"testing"
 	"time"
 
 	"octgb/internal/geom"
@@ -56,6 +57,13 @@ type report struct {
 		SequentialWallMS float64 `json:"sequential_wall_ms"`
 		BatchSpeedup     float64 `json:"batch_speedup"` // sequential / batched
 		MaxEnergyRelDiff float64 `json:"max_energy_rel_diff"`
+		// ComposeAllocsPerPose is the steady-state allocation count of one
+		// pose composition against a warm (pool-recycled) scratch — the
+		// number the sync.Pool reuse in the sweep path pins. The residual
+		// allocations are the posed molecule and merged complex Compose
+		// returns; scratch growth here means the reuse regressed (the serve
+		// tests enforce the same pin).
+		ComposeAllocsPerPose float64 `json:"compose_allocs_per_pose"`
 	} `json:"batch"`
 }
 
@@ -203,8 +211,10 @@ func run(out string, atoms, recN, ligN, poses, warm, threads, subdiv int, seed i
 	rep.Batch.ReceptorAtoms, rep.Batch.LigandAtoms, rep.Batch.Poses = recN, ligN, poses
 	rep.Batch.BatchSpeedup = rep.Batch.SequentialWallMS / rep.Batch.BatchedWallMS
 	rep.Batch.MaxEnergyRelDiff = maxRel
-	fmt.Printf("batch: %d poses (%d+%d atoms) — batched %.0f ms vs sequential %.0f ms → %.2fx (max rel diff %.2g)\n",
-		poses, recN, ligN, rep.Batch.BatchedWallMS, rep.Batch.SequentialWallMS, rep.Batch.BatchSpeedup, maxRel)
+	rep.Batch.ComposeAllocsPerPose = composeAllocs(rec, lig, surf, rigid[0])
+	fmt.Printf("batch: %d poses (%d+%d atoms) — batched %.0f ms vs sequential %.0f ms → %.2fx (max rel diff %.2g, %.0f allocs/pose composed)\n",
+		poses, recN, ligN, rep.Batch.BatchedWallMS, rep.Batch.SequentialWallMS, rep.Batch.BatchSpeedup, maxRel,
+		rep.Batch.ComposeAllocsPerPose)
 
 	f, err := os.Create(out)
 	if err != nil {
@@ -221,6 +231,22 @@ func run(out string, atoms, recN, ligN, poses, warm, threads, subdiv int, seed i
 	}
 	fmt.Printf("wrote %s\n", out)
 	return nil
+}
+
+// composeAllocs measures the steady-state allocations of one pose
+// composition against a warm reusable scratch — the quantity the serving
+// layer's sync.Pool keeps flat across batch flushes.
+func composeAllocs(rec, lig *molecule.Molecule, surf surface.Options, pose geom.Rigid) float64 {
+	recQ := surface.Sample(rec, surf)
+	ligQ := surface.Sample(lig, surf)
+	sc := new(surface.ComposeScratch)
+	pc := surface.NewPoseComposer(rec, recQ, lig, ligQ, surf, sc)
+	if _, _, err := pc.Compose("warm", pose); err != nil {
+		return math.NaN()
+	}
+	return testing.AllocsPerRun(50, func() {
+		_, _, _ = pc.Compose("steady", pose)
+	})
 }
 
 func timedEnergy(base string, mj serve.MoleculeJSON, out *serve.EnergyResponse) (float64, error) {

@@ -1,0 +1,284 @@
+// Command benchstream measures the incremental-evaluation path behind
+// /v1/stream: the steady-state cost of one jitter frame through an
+// engine.Session against the from-scratch re-evaluation the session
+// replaces (surface + octrees + Born + E_pol, cold every frame), plus the
+// one-time session build. The headline derived number is
+// stream_frame_speedup = frame-full / frame-incremental, which the ROADMAP
+// requires to stay >= 5 at the pinned workload (<= 1% of atoms moving per
+// frame, serial evaluation, engine defaults).
+//
+// Results are printed and written as JSON (default BENCH_stream.json, the
+// file committed at the repository root).
+//
+// Usage:
+//
+//	benchstream                 # N = 4000 atoms, writes BENCH_stream.json
+//	benchstream -n 2000 -movers 20 -o out.json
+//	benchstream -check          # compare against committed JSON, exit 1 on
+//	                            # >15% ns/op regression, new allocations,
+//	                            # or speedup below the 5x floor
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"octgb/internal/engine"
+	"octgb/internal/geom"
+	"octgb/internal/molecule"
+	"octgb/internal/surface"
+)
+
+type result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type report struct {
+	NAtoms     int                `json:"n_atoms"`
+	NQPoints   int                `json:"n_qpoints"`
+	Movers     int                `json:"movers"`
+	GoVersion  string             `json:"go_version"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Results    []result           `json:"results"`
+	Derived    map[string]float64 `json:"derived"`
+}
+
+// speedupFloor is the acceptance bar: an incremental frame at <= 1% moved
+// atoms must beat the from-scratch re-evaluation by at least this factor.
+const speedupFloor = 5.0
+
+func main() {
+	n := flag.Int("n", 4000, "atom count for the stream benchmarks")
+	movers := flag.Int("movers", 10, "atoms moved per frame (must stay <= 1% of -n)")
+	outPath := flag.String("o", "BENCH_stream.json", "output JSON path (baseline path with -check)")
+	check := flag.Bool("check", false, "compare against the committed JSON instead of overwriting it; exit 1 on regression")
+	tol := flag.Float64("tol", 0.15, "allowed fractional ns/op regression for -check")
+	best := flag.Int("best", 0, "repeat each benchmark this many times and keep the fastest (0 = 1 normally, 3 with -check)")
+	flag.Parse()
+	if *best == 0 {
+		*best = 1
+		if *check {
+			*best = 3
+		}
+	}
+	if *movers*100 > *n {
+		fmt.Fprintf(os.Stderr, "benchstream: -movers %d exceeds 1%% of -n %d; the speedup pin is defined at <= 1%% motion\n", *movers, *n)
+		os.Exit(1)
+	}
+
+	var baseline *report
+	if *check {
+		buf, err := os.ReadFile(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchstream: -check:", err)
+			os.Exit(1)
+		}
+		baseline = new(report)
+		if err := json.Unmarshal(buf, baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "benchstream: -check: parse %s: %v\n", *outPath, err)
+			os.Exit(1)
+		}
+		if baseline.NAtoms != *n || baseline.Movers != *movers {
+			fmt.Printf("note: baseline was recorded at n=%d movers=%d, running at n=%d movers=%d\n",
+				baseline.NAtoms, baseline.Movers, *n, *movers)
+		}
+	}
+
+	rep := report{
+		NAtoms:     *n,
+		Movers:     *movers,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Derived:    map[string]float64{},
+	}
+	run := func(name string, fn func(b *testing.B)) float64 {
+		// Min-of-reps: the minimum is the standard noise-robust estimator
+		// for single-machine benchmarking — interference only slows runs.
+		var bestRes testing.BenchmarkResult
+		bestNS := math.Inf(1)
+		for i := 0; i < *best; i++ {
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				fn(b)
+			})
+			if ns := float64(r.T.Nanoseconds()) / float64(r.N); ns < bestNS {
+				bestNS, bestRes = ns, r
+			}
+		}
+		rep.Results = append(rep.Results, result{name, bestNS, bestRes.AllocedBytesPerOp(), bestRes.AllocsPerOp()})
+		fmt.Printf("%-28s %14.1f ns/op %12d B/op %8d allocs/op\n",
+			name, bestNS, bestRes.AllocedBytesPerOp(), bestRes.AllocsPerOp())
+		return bestNS
+	}
+
+	mol := molecule.GenerateProtein("stream", *n, 5)
+	so := engine.SessionOptions{
+		Surf: surface.Default(),
+		Eval: engine.Options{Threads: 1, BornEps: 0.9, EpolEps: 0.9},
+	}
+	eo := so.Eval
+
+	// The jitter workload: each frame moves `movers` atoms by up to 0.05 Å
+	// per axis, compounding — the drift regime that exercises slack-margin
+	// re-derivation rather than pure value refresh. Frames are pre-generated
+	// and cycled so the timed loop measures Step alone.
+	frames := jitterFrames(mol, 256, *movers, 0.05, 7)
+
+	probe, err := engine.NewSession(mol, so)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchstream:", err)
+		os.Exit(1)
+	}
+	rep.NQPoints = probe.NumQPoints()
+
+	incrNS := run("stream/frame-incremental", func(b *testing.B) {
+		// ResweepEvery is pushed out so the loop times the steady-state
+		// incremental frame; the periodic resweep is a verification sweep
+		// (bitwise no-op by contract), not part of the per-frame cost model.
+		o := so
+		o.ResweepEvery = 1 << 30
+		ss, err := engine.NewSession(mol, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Warm through one full cycle so list re-derivations triggered by
+		// the initial drift are amortized out of the steady state.
+		for _, fr := range frames {
+			if _, err := ss.Step(fr); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ss.Step(frames[i%len(frames)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	fullNS := run("stream/frame-full", func(b *testing.B) {
+		// The comparator: what a stateless server pays per frame — surface
+		// sampling, both octrees, Born radii and the energy evaluation,
+		// all from scratch (moved atoms invalidate every cached stage).
+		for i := 0; i < b.N; i++ {
+			pr := engine.NewProblem(mol, so.Surf)
+			prep, err := engine.Prepare(pr, eo)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := prep.EvalEpol(eo); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rep.Derived["stream_frame_speedup"] = fullNS / incrNS
+	rep.Derived["moved_fraction"] = float64(*movers) / float64(*n)
+
+	createNS := run("stream/session-create", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.NewSession(mol, so); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// Frames until a session pays for itself vs stateless re-evaluation.
+	rep.Derived["create_breakeven_frames"] = createNS / (fullNS - incrNS)
+
+	if *check {
+		os.Exit(checkAgainst(baseline, &rep, *tol))
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchstream:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*outPath, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchstream:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nincremental frame speedup (%d/%d atoms moving, %.2f%%): %.2fx (floor %.0fx)\n",
+		*movers, *n, 100*rep.Derived["moved_fraction"], rep.Derived["stream_frame_speedup"], speedupFloor)
+	fmt.Printf("session create amortizes after %.1f frames\n", rep.Derived["create_breakeven_frames"])
+	if rep.Derived["stream_frame_speedup"] < speedupFloor {
+		fmt.Printf("WARNING: speedup below the %.0fx acceptance floor\n", speedupFloor)
+	}
+	fmt.Printf("wrote %s\n", *outPath)
+}
+
+// jitterFrames builds a deterministic compounding jitter stream: each
+// frame moves `movers` uniformly-drawn atoms by up to amp per axis.
+func jitterFrames(mol *molecule.Molecule, k, movers int, amp float64, seed int64) []engine.FrameDelta {
+	rng := rand.New(rand.NewSource(seed))
+	pos := make([]geom.Vec3, mol.N())
+	for i := range mol.Atoms {
+		pos[i] = mol.Atoms[i].Pos
+	}
+	frames := make([]engine.FrameDelta, k)
+	for f := range frames {
+		moves := make([]engine.AtomMove, 0, movers)
+		for m := 0; m < movers; m++ {
+			i := rng.Intn(mol.N())
+			d := geom.V((rng.Float64()*2-1)*amp, (rng.Float64()*2-1)*amp, (rng.Float64()*2-1)*amp)
+			pos[i] = pos[i].Add(d)
+			moves = append(moves, engine.AtomMove{Index: i, Pos: pos[i]})
+		}
+		frames[f] = engine.FrameDelta{Moves: moves}
+	}
+	return frames
+}
+
+// checkAgainst compares a fresh run with the committed baseline and
+// returns the process exit code: 1 if any stream benchmark regressed by
+// more than tol on ns/op, gained an allocation, or the derived frame
+// speedup fell below the acceptance floor. Run on a quiet machine: the
+// gate measures the CPU, and a loaded box fails it spuriously.
+func checkAgainst(baseline, fresh *report, tol float64) int {
+	base := make(map[string]result, len(baseline.Results))
+	for _, r := range baseline.Results {
+		base[r.Name] = r
+	}
+	fmt.Printf("\n%-28s %14s %14s %9s\n", "benchmark", "baseline ns/op", "fresh ns/op", "delta")
+	failed := 0
+	for _, r := range fresh.Results {
+		b, ok := base[r.Name]
+		if !ok {
+			fmt.Printf("%-28s %14s %14.1f %9s\n", r.Name, "(new)", r.NsPerOp, "-")
+			continue
+		}
+		delta := r.NsPerOp/b.NsPerOp - 1
+		status := ""
+		if delta > tol {
+			status = "  REGRESSED"
+			failed++
+		}
+		if r.AllocsPerOp > b.AllocsPerOp {
+			status += "  ALLOCS"
+			failed++
+		}
+		fmt.Printf("%-28s %14.1f %14.1f %+8.1f%%%s\n", r.Name, b.NsPerOp, r.NsPerOp, delta*100, status)
+	}
+	sp := fresh.Derived["stream_frame_speedup"]
+	fmt.Printf("\nincremental frame speedup: %.2fx (floor %.0fx, baseline %.2fx)\n",
+		sp, speedupFloor, baseline.Derived["stream_frame_speedup"])
+	if sp < speedupFloor {
+		fmt.Printf("FAIL: speedup %.2fx below the %.0fx acceptance floor\n", sp, speedupFloor)
+		failed++
+	}
+	if failed > 0 {
+		fmt.Printf("FAIL: %d check(s) failed vs %d-atom baseline\n", failed, baseline.NAtoms)
+		return 1
+	}
+	fmt.Printf("OK: no stream benchmark regressed beyond %.0f%%\n", tol*100)
+	return 0
+}

@@ -8,7 +8,9 @@
 //	epolserve -ranks 4                  # hybrid engine for cold requests
 //	epolserve -cache-mb 1024 -queue 256 # bigger deployment
 //
-// Endpoints: POST /v1/energy, POST /v1/sweep, GET /healthz, GET /stats —
+// Endpoints: POST /v1/energy, POST /v1/sweep, POST /v1/stream (create an
+// incremental session) with POST /v1/stream/{id}/frame and DELETE
+// /v1/stream/{id}, GET /healthz, GET /stats —
 // plus, with -observe (the default), GET /metrics (Prometheus text
 // format), GET /debug/trace (Chrome trace_event JSON) and the
 // /debug/pprof/* profiling family. See README "Serving"/"Observability"
@@ -57,6 +59,8 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		cacheMB     = fs.Int("cache-mb", 256, "prepared-problem cache budget in MiB")
 		maxAtoms    = fs.Int("max-atoms", 200000, "reject molecules larger than this")
 		batchWindow = fs.Duration("batch-window", 5*time.Millisecond, "sweep coalescing window")
+		maxSessions = fs.Int("max-sessions", 8, "live /v1/stream session cap (LRU eviction)")
+		sessionIdle = fs.Duration("session-idle", 5*time.Minute, "evict stream sessions idle this long")
 		deadline    = fs.Duration("deadline", 60*time.Second, "default per-request deadline")
 		drain       = fs.Duration("drain-timeout", 2*time.Minute, "graceful shutdown budget")
 		bornEps     = fs.Float64("borneps", 0.9, "default Born-radius approximation parameter ε")
@@ -84,6 +88,8 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		MaxCacheBytes:   int64(*cacheMB) << 20,
 		MaxAtoms:        *maxAtoms,
 		BatchWindow:     *batchWindow,
+		MaxSessions:     *maxSessions,
+		SessionIdle:     *sessionIdle,
 		DefaultDeadline: *deadline,
 		BornEps:         *bornEps,
 		EpolEps:         *epolEps,

@@ -18,3 +18,9 @@ func (s *BornSolver) evalBornFarRangeVec(far []NodePair, sNode []float64) {
 func (s *EpolSolver) evalEpolNearRangeVec(near []NodePair) float64 {
 	panic("core: vector kernel dispatched without AVX2 support")
 }
+
+// Stub for the amd64-only batched entry-value vector path; likewise
+// unreachable.
+func (s *EpolSolver) evalEpolNearEntryValuesVec(near []NodePair, idxs []int32, out []float64) {
+	panic("core: vector kernel dispatched without AVX2 support")
+}

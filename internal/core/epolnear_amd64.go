@@ -44,6 +44,97 @@ func epolNearRunAVX2(a *epolNearArgs) float64
 // the total-energy golden pin (the epol pin is on the total, which has
 // orders of magnitude more reassociation slack than the per-element Born
 // pins).
+// evalEpolNearEntryValuesVec is EvalEpolNearEntryValues' amd64 vector
+// path: one v-tile pack for the whole batch, then a one-entry kernel call
+// per selected entry. A one-entry call through this path is arithmetic-
+// identical to a one-entry evalEpolNearRangeVec call (same pack, same
+// kernel invocation, same self-pair correction), which is what makes the
+// batch bitwise interchangeable with per-entry range calls.
+func (s *EpolSolver) evalEpolNearEntryValuesVec(near []NodePair, idxs []int32, out []float64) {
+	v := near[0].B
+	vlo, vhi := s.T.PointRange(v)
+	n := int(vhi - vlo)
+	if n > epolTileCap {
+		// Degenerate oversized leaf: the range path would fall back to the
+		// scalar run kernel for this v, so the per-entry values must too.
+		if idxs == nil {
+			for k := range near {
+				out[k] = s.evalEpolNearRun(near[k:k+1], v)
+			}
+			return
+		}
+		for _, k := range idxs {
+			out[k] = s.evalEpolNearRun(near[k:k+1], v)
+		}
+		return
+	}
+	if n == 0 {
+		if idxs == nil {
+			for k := range near {
+				out[k] = 0
+			}
+			return
+		}
+		for _, k := range idxs {
+			out[k] = 0
+		}
+		return
+	}
+	var tile [6 * epolTileCap]float64
+	x, y, z := s.T.X, s.T.Y, s.T.Z
+	for k := 0; k < n; k++ {
+		j := int(vlo) + k
+		tile[0*epolTileCap+k] = x[j]
+		tile[1*epolTileCap+k] = y[j]
+		tile[2*epolTileCap+k] = z[j]
+		tile[3*epolTileCap+k] = s.q[j]
+		tile[4*epolTileCap+k] = s.R[j]
+		tile[5*epolTileCap+k] = s.invR[j]
+	}
+	nv := (n + 3) &^ 3
+	for k := n; k < nv; k++ {
+		tile[0*epolTileCap+k] = 0
+		tile[1*epolTileCap+k] = 0
+		tile[2*epolTileCap+k] = 0
+		tile[3*epolTileCap+k] = 0
+		tile[4*epolTileCap+k] = 1
+		tile[5*epolTileCap+k] = 1
+	}
+	args := epolNearArgs{
+		tile:   &tile[0],
+		nents:  1,
+		ranges: &s.uRange[0],
+		upos:   &s.uPos[0],
+		uqrg:   &s.uQRG[0],
+		nv:     int64(nv),
+	}
+	if idxs == nil {
+		for k := range near {
+			out[k] = s.evalEpolNearOneVec(&args, near, k, v, vlo, vhi)
+		}
+		return
+	}
+	for _, k := range idxs {
+		out[k] = s.evalEpolNearOneVec(&args, near, int(k), v, vlo, vhi)
+	}
+}
+
+// evalEpolNearOneVec runs the kernel for one entry of a packed batch and
+// applies the exact-diagonal self-pair correction, mirroring the per-run
+// epilogue of evalEpolNearRangeVec.
+func (s *EpolSolver) evalEpolNearOneVec(args *epolNearArgs, near []NodePair, k int, v, vlo, vhi int32) float64 {
+	args.ents = &near[k]
+	val := epolNearRunAVX2(args)
+	if near[k].A == v {
+		for i := vlo; i < vhi; i++ {
+			num := s.q[i] * s.q[i]
+			ri := s.R[i]
+			val += num/ri - num/math.Sqrt(ri*ri)
+		}
+	}
+	return val
+}
+
 func (s *EpolSolver) evalEpolNearRangeVec(near []NodePair) float64 {
 	var tile [6 * epolTileCap]float64
 	args := epolNearArgs{

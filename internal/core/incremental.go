@@ -1,0 +1,253 @@
+package core
+
+import (
+	"octgb/internal/gb"
+	"octgb/internal/geom"
+	"octgb/internal/octree"
+)
+
+// This file holds the solver-side primitives of incremental (streaming)
+// evaluation — engine.Session drives them. A session freezes the octree
+// TOPOLOGY and, between structural refreshes, the node GEOMETRY (centers,
+// radii, far-field aggregates) of both trees, then lets point positions
+// drift under per-leaf slack margins. The primitives fall into three
+// groups:
+//
+//   - in-place mutators that keep every storage mirror (SoA, vector row
+//     tables, float32 tier) coherent with a moved point or a changed Born
+//     radius: SetAtomPoint, SetQPoint, SetPointMirrors, SetRadius,
+//     RefreshGeometry;
+//   - per-entry scalar evaluators with the exact arithmetic of the flat
+//     Range kernels, so a value recomputed alone is bitwise the value a
+//     full sweep produces: BornFarTerm, EpolFarTerm, BornRadiusFromSums
+//     (EvalBornNearPair / EvalEpolNearPair in lists.go already qualify —
+//     they always take the scalar run path, never the vectorized one);
+//   - slack-aware single-driver list builders that classify against a
+//     caller-supplied driver ball with BOTH sides' radii inflated by the
+//     slack margin, so every far decision stays valid while geometry
+//     drifts within slack: BuildBornDriverSlack, BuildEpolDriverSlack.
+
+// SlackMargin is the drift budget granted to an enclosing ball of radius r:
+// slackFactor·r + minSlack. Both the session's re-derivation triggers and
+// the inflated classification radii of the driver builders use it, which
+// is what makes "points moved less than the margin" imply "every recorded
+// far decision still satisfies the plain separation criterion".
+func SlackMargin(r, slackFactor, minSlack float64) float64 {
+	return slackFactor*r + minSlack
+}
+
+// SetAtomPoint overwrites atom i's position (T_A tree order) in place,
+// updating the octree point storage, its SoA mirrors, and the float32 tier.
+// Node geometry is intentionally NOT touched — it stays frozen until
+// RefreshGeometry — so far-field classifications and cached far values
+// remain exactly reproducible between refreshes.
+func (s *BornSolver) SetAtomPoint(i int32, p geom.Vec3) {
+	s.TA.SetPoint(i, p)
+	if s.f32 != nil {
+		s.f32.ax[i], s.f32.ay[i], s.f32.az[i] = float32(p.X), float32(p.Y), float32(p.Z)
+	}
+}
+
+// SetQPoint overwrites q-point i's position (T_Q tree order) in place,
+// mirrors included. The point's quadrature weight and normal (wn) are
+// translation invariant and untouched — the session only transports
+// q-points rigidly with their owning atom.
+func (s *BornSolver) SetQPoint(i int32, p geom.Vec3) {
+	s.TQ.SetPoint(i, p)
+	if s.f32 != nil {
+		s.f32.qx[i], s.f32.qy[i], s.f32.qz[i] = float32(p.X), float32(p.Y), float32(p.Z)
+	}
+}
+
+// RefreshGeometry refits both octrees' node bounds to the current point
+// positions and repacks every mirror derived from node geometry (the
+// far-kernel center table and the float32 tier). Per-node ñ_Q aggregates
+// are position independent and stay. This is the structural-refresh step of
+// a session epoch: after it, far-field classifications and cached far
+// values must be rebuilt by the caller.
+func (s *BornSolver) RefreshGeometry() {
+	s.TA.RefitAll()
+	s.TQ.RefitAll()
+	for n := range s.TA.Nodes {
+		c := s.TA.Nodes[n].Center
+		s.aCent[4*n], s.aCent[4*n+1], s.aCent[4*n+2] = c.X, c.Y, c.Z
+	}
+	if s.f32 != nil {
+		s.f32 = newBornSoA32(s)
+	}
+}
+
+// BornFarTerm evaluates one far-field list entry — the pseudo q-point ñ_Q
+// at Q's frozen center against the pseudo atom at A's frozen center — with
+// exactly the arithmetic of EvalBornFarRange (including the float32 tier's
+// mirror arithmetic), so a term recomputed in isolation is bitwise the term
+// a full far sweep contributes.
+func (s *BornSolver) BornFarTerm(a, q int32) float64 {
+	if s.f32 != nil {
+		m := s.f32
+		dx, dy, dz := m.qcx[q]-m.acx[a], m.qcy[q]-m.acy[a], m.qcz[q]-m.acz[a]
+		d2 := dx*dx + dy*dy + dz*dz
+		if s.r4 {
+			return float64((m.wnx[q]*dx + m.wny[q]*dy + m.wnz[q]*dz) * (1 / (d2 * d2)))
+		}
+		return float64((m.wnx[q]*dx + m.wny[q]*dy + m.wnz[q]*dz) * (1 / (d2 * d2 * d2)))
+	}
+	dx := s.TQ.CX[q] - s.TA.CX[a]
+	dy := s.TQ.CY[q] - s.TA.CY[a]
+	dz := s.TQ.CZ[q] - s.TA.CZ[a]
+	d2 := dx*dx + dy*dy + dz*dz
+	if s.r4 {
+		return (s.wnNX[q]*dx + s.wnNY[q]*dy + s.wnNZ[q]*dz) * (1 / (d2 * d2))
+	}
+	return (s.wnNX[q]*dx + s.wnNY[q]*dy + s.wnNZ[q]*dz) * (1 / (d2 * d2 * d2))
+}
+
+// BornRadiusFromSums converts atom i's accumulated integral (near row +
+// pushed-down far total) into its Born radius — the per-atom arithmetic of
+// PushIntegrals, exposed so the session can recompute radii from cached
+// partial sums.
+func (s *BornSolver) BornRadiusFromSums(i int32, sum float64) float64 {
+	if s.r4 {
+		return gb.BornFromIntegralR4(sum, s.atomR[i], s.rcap)
+	}
+	return gb.BornFromIntegral(sum, s.atomR[i], s.rcap)
+}
+
+// FarTotals pushes per-node far sums down T_A: out[n] = out[parent] +
+// sNode[n], the cumulative ancestor total pushDown carries, computed for
+// every node in one forward sweep (parents precede children in the
+// linearized layout). Atom i's Born integral is then sAtom[i] +
+// out[leaf(i)], exactly as PushIntegrals forms it.
+func (s *BornSolver) FarTotals(sNode, out []float64) {
+	for n := range s.TA.Nodes {
+		t := sNode[n]
+		if p := s.TA.Nodes[n].Parent; p != octree.NoChild {
+			t += out[p]
+		}
+		out[n] = t
+	}
+}
+
+// BuildBornDriverSlack runs the single-driver APPROX-INTEGRALS traversal
+// for the q-leaf node qLeaf, classifying against the caller's driver ball
+// (ballC, ballR) — typically the refit ball of the leaf's CURRENT points —
+// with both sides' radii inflated by SlackMargin. Inflation only moves
+// pairs from far to near (near is exact), so accuracy is never worse than
+// the plain criterion's, and any drift within the margins keeps every far
+// decision valid. Visit order matches BuildBornListInto, so near entries
+// come out in the canonical (ascending) order the session's row resums
+// rely on.
+func (s *BornSolver) BuildBornDriverSlack(l *InteractionList, qLeaf int32, ballC geom.Vec3, ballR, slackFactor, minSlack float64) *InteractionList {
+	l.reset()
+	if len(s.TA.Nodes) == 0 {
+		return l
+	}
+	qlo, qhi := s.TQ.PointRange(qLeaf)
+	qCount := int64(qhi - qlo)
+	rq := ballR + SlackMargin(ballR, slackFactor, minSlack)
+	var stack pairStack
+	stack.push(0, qLeaf)
+	for len(stack) > 0 {
+		p := stack.pop()
+		a := p.A
+		l.stats.NodesVisited++
+		an := &s.TA.Nodes[a]
+		d2 := an.Center.Dist2(ballC)
+		ra := an.Radius + SlackMargin(an.Radius, slackFactor, minSlack)
+		if wellSeparated2(d2, ra, rq, s.sepK2) {
+			l.Far = append(l.Far, NodePair{a, qLeaf})
+			l.stats.FarEval++
+			continue
+		}
+		if an.Leaf {
+			l.Near = append(l.Near, NodePair{a, qLeaf})
+			l.stats.NearPairs += int64(an.Count) * qCount
+			continue
+		}
+		for c := 7; c >= 0; c-- {
+			if ch := an.Children[c]; ch != octree.NoChild {
+				stack.push(ch, qLeaf)
+			}
+		}
+	}
+	return l
+}
+
+// SetPointMirrors overwrites atom i's position in the energy solver's OWN
+// storage mirrors (the vector row table and the float32 tier). The shared
+// octree itself is patched once via BornSolver.SetAtomPoint — the two
+// solvers share the atoms tree — so this covers exactly the mirrors that
+// tree patch cannot reach.
+func (s *EpolSolver) SetPointMirrors(i int32, p geom.Vec3) {
+	s.uPos[4*i], s.uPos[4*i+1], s.uPos[4*i+2] = p.X, p.Y, p.Z
+	if s.f32 != nil {
+		s.f32.x[i], s.f32.y[i], s.f32.z[i] = float32(p.X), float32(p.Y), float32(p.Z)
+	}
+}
+
+// SetRadius overwrites atom i's Born radius (tree order), keeping invR, the
+// vector row table and the float32 tier coherent. The charge-by-radius
+// BINS are deliberately left at their epoch values: bins are a coarse
+// geometric aggregation (ratio 1+ε) and rebinning mid-epoch would make
+// far-field values depend on update history; the session rebuilds the
+// solver — fresh binning included — at every structural refresh instead.
+func (s *EpolSolver) SetRadius(i int32, r float64) {
+	s.R[i] = r
+	s.invR[i] = 1 / r
+	s.uQRG[4*i+1], s.uQRG[4*i+2] = r, -0.25*s.invR[i]
+	if s.f32 != nil {
+		s.f32.r[i], s.f32.ir[i] = float32(r), float32(1/r)
+	}
+}
+
+// EpolFarTerm evaluates one far-field bin-pair entry with the same
+// dispatch the range evaluator uses (float32 mirrors on the reduced tier,
+// Approximate or Exact math otherwise), so a cached far value equals what
+// a full far sweep would contribute, bit for bit.
+func (s *EpolSolver) EpolFarTerm(u, v int32) float64 {
+	if s.f32 != nil {
+		return s.evalEpolFarPairF32(u, v)
+	}
+	return s.EvalEpolFarPair(u, v)
+}
+
+// BuildEpolDriverSlack runs the single-driver APPROX-EPOL traversal for
+// the atoms-octree leaf node vLeaf against the caller's driver ball, with
+// slack-inflated radii on both sides — the energy-phase counterpart of
+// BuildBornDriverSlack. Leaf u-nodes go to the near list unconditionally
+// (matching buildEpolLeafList), so inflation again only trades far entries
+// for exact near ones.
+func (s *EpolSolver) BuildEpolDriverSlack(l *InteractionList, vLeaf int32, ballC geom.Vec3, ballR, slackFactor, minSlack float64) *InteractionList {
+	l.reset()
+	if len(s.T.Nodes) == 0 {
+		return l
+	}
+	vCount := int64(s.T.Nodes[vLeaf].Count)
+	rv := ballR + SlackMargin(ballR, slackFactor, minSlack)
+	var stack pairStack
+	stack.push(0, vLeaf)
+	for len(stack) > 0 {
+		p := stack.pop()
+		u := p.A
+		l.stats.NodesVisited++
+		un := &s.T.Nodes[u]
+		if un.Leaf {
+			l.Near = append(l.Near, NodePair{u, vLeaf})
+			l.stats.NearPairs += int64(un.Count) * vCount
+			continue
+		}
+		d2 := un.Center.Dist2(ballC)
+		ru := un.Radius + SlackMargin(un.Radius, slackFactor, minSlack)
+		if epolFar2(d2, ru, rv, s.sep2) {
+			l.Far = append(l.Far, NodePair{u, vLeaf})
+			l.stats.FarEval += s.nnz(u) * s.nnz(vLeaf)
+			continue
+		}
+		for c := 7; c >= 0; c-- {
+			if ch := un.Children[c]; ch != octree.NoChild {
+				stack.push(ch, vLeaf)
+			}
+		}
+	}
+	return l
+}

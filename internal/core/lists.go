@@ -684,6 +684,47 @@ func (s *EpolSolver) EvalEpolNearRange(l *InteractionList, lo, hi int) float64 {
 	return sum
 }
 
+// EvalEpolNearEntryValues evaluates near entries of ONE driver segment in
+// isolation, overwriting out[k] (parallel to near) with entry k's value
+// for every k in idxs — or for every entry when idxs is nil. All entries
+// of a driver segment share the driver's v-leaf, which lets the vector
+// path pack the v-tile once for the whole batch instead of once per
+// entry. Each value is bitwise the value a single-entry EvalEpolNearRange
+// call produces — the canonical per-entry arithmetic that incremental
+// entry caches are defined by.
+func (s *EpolSolver) EvalEpolNearEntryValues(near []NodePair, idxs []int32, out []float64) {
+	if len(near) == 0 {
+		return
+	}
+	if hasAVX2FMA && s.f32 == nil && s.cfg.Math != gb.Approximate && len(s.uPos) > 0 {
+		s.evalEpolNearEntryValuesVec(near, idxs, out)
+		return
+	}
+	v := near[0].B
+	if idxs == nil {
+		for k := range near {
+			out[k] = s.evalEpolNearEntryScalar(near, k, v)
+		}
+		return
+	}
+	for _, k := range idxs {
+		out[k] = s.evalEpolNearEntryScalar(near, int(k), v)
+	}
+}
+
+// evalEpolNearEntryScalar is the non-vector single-entry evaluation, with
+// exactly the dispatch EvalEpolNearRange applies to a one-entry range.
+func (s *EpolSolver) evalEpolNearEntryScalar(near []NodePair, k int, v int32) float64 {
+	switch {
+	case s.f32 != nil:
+		return s.evalEpolNearRunF32(near[k:k+1], v)
+	case s.cfg.Math == gb.Approximate:
+		return s.evalEpolNearRunApprox(near[k:k+1], v)
+	default:
+		return s.evalEpolNearRun(near[k:k+1], v)
+	}
+}
+
 // EvalEpolFarRange sums the far entries [lo, hi) of the list.
 func (s *EpolSolver) EvalEpolFarRange(l *InteractionList, lo, hi int) float64 {
 	var sum float64

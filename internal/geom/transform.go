@@ -36,6 +36,26 @@ func RotationAxisAngle(axis Vec3, angle float64) Rigid {
 	}}
 }
 
+// IsTranslation reports whether the transform carries no rotation — R is
+// exactly the identity matrix, so Apply reduces to p + T. Exactness matters:
+// the translation-only fast paths (surface.ComposePose, octree reuse)
+// promise bitwise-identical results, which only holds when the rotation
+// part contributes nothing at all, so no epsilon is involved here.
+func (m Rigid) IsTranslation() bool {
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if m.R[i][j] != want {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // Apply transforms a point: R·p + T.
 func (m Rigid) Apply(p Vec3) Vec3 {
 	return Vec3{

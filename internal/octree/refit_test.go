@@ -1,0 +1,66 @@
+package octree
+
+import (
+	"math/rand"
+	"testing"
+
+	"octgb/internal/geom"
+)
+
+// Jittered points break the enclosing-ball invariant; RefitAll must restore
+// it (Validate checks balls, boxes-by-convention and the center mirrors).
+func TestRefitAllRestoresInvariants(t *testing.T) {
+	tr := Build(randomPoints(500, 1), 8)
+	rng := rand.New(rand.NewSource(2))
+	for i := range tr.Points {
+		if rng.Float64() < 0.3 {
+			d := geom.V(rng.Float64()-0.5, rng.Float64()-0.5, rng.Float64()-0.5).Scale(3)
+			tr.SetPoint(int32(i), tr.Points[i].Add(d))
+		}
+	}
+	tr.RefitAll()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("refit tree invalid: %v", err)
+	}
+}
+
+// A refit with unmoved points must reproduce the build-time geometry
+// exactly: computeGeometry and RefitAll run the same arithmetic.
+func TestRefitAllIdempotentOnUnmovedPoints(t *testing.T) {
+	tr := Build(randomPoints(300, 3), 0)
+	centers := make([]geom.Vec3, len(tr.Nodes))
+	radii := make([]float64, len(tr.Nodes))
+	for i := range tr.Nodes {
+		centers[i], radii[i] = tr.Nodes[i].Center, tr.Nodes[i].Radius
+	}
+	tr.RefitAll()
+	for i := range tr.Nodes {
+		if tr.Nodes[i].Center != centers[i] || tr.Nodes[i].Radius != radii[i] {
+			t.Fatalf("node %d geometry changed under no-op refit: %v/%g -> %v/%g",
+				i, centers[i], radii[i], tr.Nodes[i].Center, tr.Nodes[i].Radius)
+		}
+	}
+}
+
+func TestPointLeavesCoversEveryPointOnce(t *testing.T) {
+	tr := Build(randomPoints(257, 5), 7)
+	leaves := tr.PointLeaves()
+	if len(leaves) != len(tr.Points) {
+		t.Fatalf("PointLeaves length %d, want %d", len(leaves), len(tr.Points))
+	}
+	for i, l := range leaves {
+		nd := &tr.Nodes[l]
+		if !nd.Leaf {
+			t.Fatalf("point %d mapped to non-leaf node %d", i, l)
+		}
+		if int32(i) < nd.Start || int32(i) >= nd.Start+nd.Count {
+			t.Fatalf("point %d outside its leaf range [%d,%d)", i, nd.Start, nd.Start+nd.Count)
+		}
+	}
+	inv := tr.InvPerm()
+	for orig, ti := range inv {
+		if tr.Perm[ti] != int32(orig) {
+			t.Fatalf("InvPerm broken at %d", orig)
+		}
+	}
+}

@@ -2,7 +2,9 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"octgb/internal/engine"
@@ -10,6 +12,16 @@ import (
 	"octgb/internal/molecule"
 	"octgb/internal/surface"
 )
+
+// composeScratchPool recycles the composed-surface scratch (translated
+// ligand octree + q-point buffer) across batch flushes. The scratch is
+// molecule independent, so a batch for any receptor/ligand pair can reuse
+// storage left behind by another; without the pool every flush reallocated
+// it from scratch. Scratch is checked back in only after the batch's last
+// pose — the q-points handed to each per-pose Problem alias it.
+var composeScratchPool = sync.Pool{
+	New: func() any { return &surface.ComposeScratch{} },
+}
 
 // sweepWaiter is one /v1/sweep request parked in a pending batch.
 type sweepWaiter struct {
@@ -121,7 +133,7 @@ func (s *Server) flushSweep(key string) {
 // runSweep executes one coalesced batch on a worker: prepare the receptor
 // and ligand through the cache once, evaluate their isolated energies
 // once, then score every waiter's poses. By default each pose's complex
-// surface is composed from the cached parts (surface.ComposePose); the
+// surface is composed from the cached parts (surface.PoseComposer); the
 // octrees and Born radii of the complex are rebuilt per pose because they
 // depend on the merged geometry.
 func (s *Server) runSweep(b *pendingSweep) {
@@ -176,6 +188,16 @@ func (s *Server) runSweep(b *pendingSweep) {
 		cache = "receptor:" + string(recSrc) + " " + cache
 	}
 
+	// One composer per batch: the receptor octree and the base-pose ligand
+	// octree are built once here instead of once per pose, over pooled
+	// scratch that survives across flushes.
+	var pc *surface.PoseComposer
+	if b.rec != nil && !b.exact {
+		sc := composeScratchPool.Get().(*surface.ComposeScratch)
+		defer composeScratchPool.Put(sc)
+		pc = surface.NewPoseComposer(b.rec, recB.prep.Pr.QPts, b.lig, ligB.prep.Pr.QPts, b.opts.surf, sc)
+	}
+
 	for _, wt := range b.waiters {
 		out := sweepOutcome{
 			eRec:          eRec,
@@ -195,7 +217,7 @@ func (s *Server) runSweep(b *pendingSweep) {
 				out.err = wt.ctx.Err()
 				break
 			}
-			e, tm, err := s.evalPose(b, recB, ligB, pose)
+			e, tm, err := s.evalPose(b, pc, pose)
 			if err != nil {
 				out.err = err
 				break
@@ -214,20 +236,34 @@ func (s *Server) runSweep(b *pendingSweep) {
 }
 
 // evalPose scores one pose: assemble the complex (composed or re-sampled
-// surface), run the Born phase, evaluate E_pol.
-func (s *Server) evalPose(b *pendingSweep, recB, ligB *built, pose geom.Rigid) (float64, TimingsJSON, error) {
+// surface), run the Born phase, evaluate E_pol. pc is the batch's cached
+// composer (nil for receptor-free or exact sweeps); a pose it rejects for
+// carrying a rotation falls back to the exact Merge + full-sample path,
+// which is valid for any rigid transform.
+func (s *Server) evalPose(b *pendingSweep, pc *surface.PoseComposer, pose geom.Rigid) (float64, TimingsJSON, error) {
 	var tm TimingsJSON
 	var pr *engine.Problem
 	t0 := time.Now()
-	switch {
-	case b.rec == nil:
-		pr = engine.NewProblem(b.lig.Transform(pose), b.opts.surf)
-	case b.exact:
-		cx := molecule.Merge("complex", b.rec, b.lig.Transform(pose))
-		pr = engine.NewProblem(cx, b.opts.surf)
-	default:
-		cx, qpts := surface.ComposePose("complex", b.rec, recB.prep.Pr.QPts, b.lig, ligB.prep.Pr.QPts, pose, b.opts.surf)
-		pr = engine.NewProblemFromSurface(cx, qpts)
+	composed := false
+	if pc != nil {
+		cx, qpts, err := pc.Compose("complex", pose)
+		switch {
+		case err == nil:
+			pr = engine.NewProblemFromSurface(cx, qpts)
+			composed = true
+		case errors.Is(err, surface.ErrRotatedPose):
+			// fall through to the exact path below
+		default:
+			return 0, tm, err
+		}
+	}
+	if !composed {
+		if b.rec == nil {
+			pr = engine.NewProblem(b.lig.Transform(pose), b.opts.surf)
+		} else {
+			cx := molecule.Merge("complex", b.rec, b.lig.Transform(pose))
+			pr = engine.NewProblem(cx, b.opts.surf)
+		}
 	}
 	t1 := time.Now()
 	p, err := engine.Prepare(pr, s.engineOpts(b.opts))

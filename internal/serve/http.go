@@ -137,8 +137,8 @@ type SweepRequest struct {
 	Options  *OptionsJSON  `json:"options,omitempty"`
 	// ExactSurface forces re-sampling each pose's complex surface from
 	// scratch. The default composes it from the cached receptor and ligand
-	// surfaces (surface.ComposePose) — exact for translations, equivalent
-	// at the quadrature-discretization level under rotation.
+	// surfaces (surface.PoseComposer) — exact for translations; poses that
+	// carry a rotation automatically fall back to the re-sampling path.
 	ExactSurface bool  `json:"exact_surface,omitempty"`
 	DeadlineMS   int64 `json:"deadline_ms,omitempty"`
 }
@@ -162,9 +162,87 @@ type SweepResponse struct {
 	Timings       TimingsJSON `json:"timings"`
 }
 
+// StreamCreateRequest is the POST /v1/stream payload: the molecule to
+// open an incremental session for. The response carries the session ID
+// every subsequent frame and close call addresses.
+type StreamCreateRequest struct {
+	Molecule MoleculeJSON       `json:"molecule"`
+	Options  *StreamOptionsJSON `json:"options,omitempty"`
+	// DeadlineMS bounds queue wait + session construction.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// StreamOptionsJSON extends the per-request evaluation parameters with the
+// incremental-session knobs (engine.SessionOptions); zero fields use the
+// engine defaults.
+type StreamOptionsJSON struct {
+	OptionsJSON
+	// ResweepEvery forces a full value resweep every k-th frame (0 → 64).
+	ResweepEvery int `json:"resweep_every,omitempty"`
+	// SlackFactor / MinSlack set the drift margin before interaction lists
+	// re-derive (0 → 0.05 / 0.25 Å).
+	SlackFactor float64 `json:"slack_factor,omitempty"`
+	MinSlack    float64 `json:"min_slack,omitempty"`
+	// RadiusTolerance is the relative staleness budget of the Born radii
+	// the energy phase evaluates with (0 → 1e-6; negative → exact).
+	RadiusTolerance float64 `json:"radius_tolerance,omitempty"`
+}
+
+// StreamCreateResponse is the POST /v1/stream result. Timings.PrepareMS
+// covers the whole session build (surface + trees + initial evaluation).
+type StreamCreateResponse struct {
+	RequestID string      `json:"request_id"`
+	SessionID string      `json:"session_id"`
+	Name      string      `json:"name,omitempty"`
+	Atoms     int         `json:"atoms"`
+	QPoints   int         `json:"qpoints"`
+	Energy    float64     `json:"energy"` // kcal/mol
+	Timings   TimingsJSON `json:"timings"`
+}
+
+// MoveJSON is one atom move of a stream frame: atom index (original
+// order) and absolute position (Å).
+type MoveJSON struct {
+	I   int        `json:"i"`
+	Pos [3]float64 `json:"pos"`
+}
+
+// StreamFrameRequest is the POST /v1/stream/{id}/frame payload.
+type StreamFrameRequest struct {
+	Moves      []MoveJSON `json:"moves"`
+	DeadlineMS int64      `json:"deadline_ms,omitempty"`
+}
+
+// StreamFrameResponse is one frame's result: the updated energy plus the
+// frame's dirty-set counters (see engine.FrameReport). Timings.EvalMS is
+// the frame evaluation time — the number the mode="stream" histogram
+// tracks.
+type StreamFrameResponse struct {
+	RequestID        string      `json:"request_id"`
+	SessionID        string      `json:"session_id"`
+	Frame            int         `json:"frame"`
+	Energy           float64     `json:"energy"` // kcal/mol
+	MovedAtoms       int         `json:"moved_atoms"`
+	DirtyBornRows    int         `json:"dirty_born_rows"`
+	DirtyEpolDrivers int         `json:"dirty_epol_drivers"`
+	PushedRadii      int         `json:"pushed_radii"`
+	Rederived        int         `json:"rederived"`
+	Resweep          bool        `json:"resweep,omitempty"`
+	Refreshed        bool        `json:"refreshed,omitempty"`
+	Timings          TimingsJSON `json:"timings"`
+}
+
+// StreamCloseResponse is the DELETE /v1/stream/{id} result.
+type StreamCloseResponse struct {
+	RequestID string  `json:"request_id"`
+	SessionID string  `json:"session_id"`
+	Frames    int     `json:"frames"`
+	Energy    float64 `json:"energy"` // kcal/mol, as of the last frame
+}
+
 // ErrorResponse is every non-2xx payload. Error is a stable machine token:
 // bad_request, too_large, queue_full, draining, deadline_exceeded,
-// eval_failed, method_not_allowed.
+// eval_failed, method_not_allowed, not_found.
 type ErrorResponse struct {
 	RequestID    string `json:"request_id"`
 	Error        string `json:"error"`

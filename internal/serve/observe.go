@@ -26,15 +26,18 @@ const (
 // (Observe is a no-op) and span recording is skipped, so the
 // observability-off path performs no observability allocations.
 type serveObs struct {
-	ob        *obs.Observer
-	reqEnergy *obs.Histogram
-	reqSweep  *obs.Histogram
-	queueWait *obs.Histogram
-	surface   *obs.Histogram
-	prepare   *obs.Histogram
-	evalF64   *obs.Histogram
-	evalF32   *obs.Histogram
-	batch     *obs.Histogram
+	ob           *obs.Observer
+	reqEnergy    *obs.Histogram
+	reqSweep     *obs.Histogram
+	reqStream    *obs.Histogram
+	queueWait    *obs.Histogram
+	surface      *obs.Histogram
+	prepare      *obs.Histogram
+	evalF64      *obs.Histogram
+	evalF32      *obs.Histogram
+	batch        *obs.Histogram
+	streamCreate *obs.Histogram
+	streamFrame  *obs.Histogram
 }
 
 func newServeObs(ob *obs.Observer) serveObs {
@@ -45,12 +48,17 @@ func newServeObs(ob *obs.Observer) serveObs {
 		ob:        ob,
 		reqEnergy: ob.Histogram(reqMetric, `endpoint="energy"`, reqHelp),
 		reqSweep:  ob.Histogram(reqMetric, `endpoint="sweep"`, reqHelp),
+		reqStream: ob.Histogram(reqMetric, `endpoint="stream"`, reqHelp),
 		queueWait: ob.Histogram(queueMetric, "", queueHelp),
 		surface:   ob.Histogram(stageMetric, `stage="surface"`, stageHelp),
 		prepare:   ob.Histogram(stageMetric, `stage="prepare"`, stageHelp),
 		evalF64:   ob.Histogram(stageMetric, `stage="eval",precision="f64"`, stageHelp),
 		evalF32:   ob.Histogram(stageMetric, `stage="eval",precision="f32"`, stageHelp),
 		batch:     ob.Histogram(stageMetric, `stage="batch"`, stageHelp),
+		// Stream stages carry mode="stream" so dashboards can split the
+		// incremental per-frame latency series from one-shot evaluation.
+		streamCreate: ob.Histogram(stageMetric, `stage="create",mode="stream"`, stageHelp),
+		streamFrame:  ob.Histogram(stageMetric, `stage="frame",mode="stream"`, stageHelp),
 	}
 }
 

@@ -18,8 +18,9 @@
 //     the same receptor/ligand pair with the same parameters and arrive
 //     within Config.BatchWindow are coalesced into one engine run that
 //     shares the prepared receptor and ligand and, by default, composes
-//     each pose's complex surface from the cached parts
-//     (surface.ComposePose) instead of re-sampling it.
+//     each translated pose's complex surface from the cached parts
+//     (surface.PoseComposer) instead of re-sampling it; rotated poses
+//     fall back to re-sampling, which is valid for any rigid transform.
 //
 //   - Admission control and backpressure: evaluations run on a bounded
 //     worker pool (Config.Workers slots over the shared-memory engine;
@@ -32,9 +33,18 @@
 //     depth, rejections, batch coalescing and per-stage timings (surface /
 //     tree build / eval) are exposed on GET /stats and echoed per request.
 //
-// Endpoints: POST /v1/energy, POST /v1/sweep, GET /healthz, GET /stats.
-// See DESIGN.md §9 for the architecture and README "Serving" for a curl
-// quickstart.
+//   - Streaming sessions: POST /v1/stream creates a stateful incremental
+//     session (engine.Session) for a moving molecule; POST
+//     /v1/stream/{id}/frame posts one frame of atom moves and gets the
+//     updated energy back at O(changed atoms) cost; DELETE /v1/stream/{id}
+//     closes it. The session store is capped at Config.MaxSessions (LRU
+//     eviction) with idle eviction after Config.SessionIdle; frames ride
+//     the same admission-controlled worker pool as one-shot requests.
+//
+// Endpoints: POST /v1/energy, POST /v1/sweep, POST /v1/stream,
+// POST /v1/stream/{id}/frame, DELETE /v1/stream/{id}, GET /healthz,
+// GET /stats. See DESIGN.md §9/§12 for the architecture and README
+// "Serving"/"Streaming" for curl quickstarts.
 package serve
 
 import (
@@ -85,6 +95,14 @@ type Config struct {
 	// BatchWindow is how long a new sweep batch waits for compatible
 	// requests to coalesce before running (default 5ms).
 	BatchWindow time.Duration
+	// MaxSessions caps the number of live /v1/stream sessions (default 8).
+	// Sessions hold prepared state resident (tens of MB for protein-scale
+	// molecules); creating one past the cap evicts the least-recently-used
+	// live session, whose subsequent frames get 404 not_found.
+	MaxSessions int
+	// SessionIdle evicts stream sessions that have not seen a frame for
+	// this long (default 5m). Checked on every stream request.
+	SessionIdle time.Duration
 	// DefaultDeadline bounds a request's total latency (queue wait +
 	// evaluation) when the request does not set deadline_ms (default 60s).
 	DefaultDeadline time.Duration
@@ -148,6 +166,12 @@ func (c Config) withDefaults() Config {
 	if c.BatchWindow <= 0 {
 		c.BatchWindow = 5 * time.Millisecond
 	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 8
+	}
+	if c.SessionIdle <= 0 {
+		c.SessionIdle = 5 * time.Minute
+	}
 	if c.DefaultDeadline <= 0 {
 		c.DefaultDeadline = 60 * time.Second
 	}
@@ -198,6 +222,10 @@ type Server struct {
 	pendingMu sync.Mutex
 	pending   map[string]*pendingSweep
 
+	sessMu   sync.Mutex
+	sessions map[string]*streamSession
+	sessSeq  atomic.Int64
+
 	nonce  string
 	reqSeq atomic.Int64
 
@@ -214,8 +242,9 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		metrics: newMetrics(),
 		queue:   make(chan func(), cfg.MaxQueue),
-		stopCh:  make(chan struct{}),
-		pending: make(map[string]*pendingSweep),
+		stopCh:   make(chan struct{}),
+		pending:  make(map[string]*pendingSweep),
+		sessions: make(map[string]*streamSession),
 	}
 	s.cache = newPrepCache(cfg.MaxCacheBytes, s.metrics)
 	s.sobs = newServeObs(cfg.Observe)
@@ -226,6 +255,8 @@ func New(cfg Config) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/energy", s.wrap(s.handleEnergy))
 	s.mux.HandleFunc("/v1/sweep", s.wrap(s.handleSweep))
+	s.mux.HandleFunc("/v1/stream", s.wrap(s.handleStreamCreate))
+	s.mux.HandleFunc("/v1/stream/", s.wrap(s.handleStreamSub))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	if cfg.Observe != nil {

@@ -32,6 +32,13 @@ type metrics struct {
 	batchedRequests atomic.Int64
 	batchedPoses    atomic.Int64
 
+	streamCreates     atomic.Int64
+	streamFrames      atomic.Int64
+	streamCloses      atomic.Int64
+	streamEvictedIdle atomic.Int64
+	streamEvictedLRU  atomic.Int64
+	streamFrameNS     atomic.Int64 // completed frame evaluation time
+
 	inflight atomic.Int64
 
 	surfaceNS atomic.Int64 // surface sampling (cold builds + exact sweep poses)
@@ -86,6 +93,20 @@ type StatsSnapshot struct {
 		BatchedRequests int64 `json:"batched_requests"`
 		BatchedPoses    int64 `json:"batched_poses"`
 	} `json:"batching"`
+
+	// Streaming covers the stateful /v1/stream sessions: live store
+	// occupancy against the cap, lifecycle counters and the total frame
+	// evaluation time (FrameMSTotal / Frames ≈ mean incremental frame cost).
+	Streaming struct {
+		Live         int     `json:"live"`
+		MaxSessions  int     `json:"max_sessions"`
+		Created      int64   `json:"created"`
+		Frames       int64   `json:"frames"`
+		Closed       int64   `json:"closed"`
+		EvictedIdle  int64   `json:"evicted_idle"`
+		EvictedLRU   int64   `json:"evicted_lru"`
+		FrameMSTotal float64 `json:"frame_ms_total"`
+	} `json:"streaming"`
 
 	Timings struct {
 		SurfaceMSTotal float64 `json:"surface_ms_total"`
@@ -168,6 +189,17 @@ func (s *Server) snapshot() StatsSnapshot {
 	out.Batching.BatchesRun = m.batchesRun.Load()
 	out.Batching.BatchedRequests = m.batchedRequests.Load()
 	out.Batching.BatchedPoses = m.batchedPoses.Load()
+
+	s.sessMu.Lock()
+	out.Streaming.Live = len(s.sessions)
+	s.sessMu.Unlock()
+	out.Streaming.MaxSessions = s.cfg.MaxSessions
+	out.Streaming.Created = m.streamCreates.Load()
+	out.Streaming.Frames = m.streamFrames.Load()
+	out.Streaming.Closed = m.streamCloses.Load()
+	out.Streaming.EvictedIdle = m.streamEvictedIdle.Load()
+	out.Streaming.EvictedLRU = m.streamEvictedLRU.Load()
+	out.Streaming.FrameMSTotal = float64(m.streamFrameNS.Load()) / 1e6
 
 	out.Timings.SurfaceMSTotal = float64(m.surfaceNS.Load()) / 1e6
 	out.Timings.PrepareMSTotal = float64(m.prepareNS.Load()) / 1e6

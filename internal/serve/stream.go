@@ -1,0 +1,352 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"octgb/internal/engine"
+	"octgb/internal/gb"
+	"octgb/internal/geom"
+)
+
+// streamSession is one live /v1/stream session: an engine.Session plus the
+// bookkeeping the store needs for LRU and idle eviction. engine.Session is
+// not safe for concurrent use, so frames against one session serialize on
+// mu (each still occupies a worker slot while it runs — streams share the
+// pool's admission control with one-shot requests).
+type streamSession struct {
+	id      string
+	mu      sync.Mutex
+	ss      *engine.Session
+	created time.Time
+
+	// lastUsed is guarded by the server's sessMu (not mu): eviction scans
+	// must read it without blocking behind a long frame evaluation.
+	lastUsed time.Time
+}
+
+// streamOptions maps resolved request options onto the engine session.
+func (s *Server) streamOptions(o evalOpts, so *StreamOptionsJSON) engine.SessionOptions {
+	out := engine.SessionOptions{
+		Surf: o.surf,
+		Eval: engine.Options{
+			Threads:   s.cfg.Threads,
+			BornEps:   o.bornEps,
+			EpolEps:   o.epolEps,
+			Precision: o.prec,
+			Observe:   s.cfg.Observe,
+		},
+	}
+	if o.approx {
+		out.Eval.Math = gb.Approximate
+	}
+	if so != nil {
+		out.ResweepEvery = so.ResweepEvery
+		out.SlackFactor = so.SlackFactor
+		out.MinSlack = so.MinSlack
+		out.RadiusTolerance = so.RadiusTolerance
+	}
+	return out
+}
+
+// evictSessionsLocked drops idle-expired sessions and, while the store
+// holds at least max live sessions, the least-recently-used one. Called
+// with sessMu held; needRoom is true when a create wants a free slot.
+func (s *Server) evictSessionsLocked(needRoom bool) {
+	now := time.Now()
+	for id, st := range s.sessions {
+		if now.Sub(st.lastUsed) > s.cfg.SessionIdle {
+			delete(s.sessions, id)
+			s.metrics.streamEvictedIdle.Add(1)
+			s.logf("serve: stream %s evicted (idle %v)", id, now.Sub(st.lastUsed).Round(time.Second))
+		}
+	}
+	if !needRoom {
+		return
+	}
+	for len(s.sessions) >= s.cfg.MaxSessions {
+		oldest := ""
+		var oldestAt time.Time
+		for id, st := range s.sessions {
+			if oldest == "" || st.lastUsed.Before(oldestAt) {
+				oldest, oldestAt = id, st.lastUsed
+			}
+		}
+		if oldest == "" {
+			return
+		}
+		delete(s.sessions, oldest)
+		s.metrics.streamEvictedLRU.Add(1)
+		s.logf("serve: stream %s evicted (LRU, cap %d)", oldest, s.cfg.MaxSessions)
+	}
+}
+
+// lookupSession touches and returns a live session, or nil.
+func (s *Server) lookupSession(id string) *streamSession {
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	s.evictSessionsLocked(false)
+	st := s.sessions[id]
+	if st != nil {
+		st.lastUsed = time.Now()
+	}
+	return st
+}
+
+// handleStreamCreate is POST /v1/stream: build an incremental session for
+// the molecule (preprocessing runs on a worker under admission control)
+// and register it in the capped session store.
+func (s *Server) handleStreamCreate(w http.ResponseWriter, r *http.Request) {
+	reqID := s.nextReqID()
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, reqID, "method_not_allowed", "POST required", 0)
+		return
+	}
+	s.metrics.streamCreates.Add(1)
+	reqStart := time.Now()
+	span := s.sobs.spanID()
+
+	var req StreamCreateRequest
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, reqID, "bad_request", err.Error(), 0)
+		return
+	}
+	mol, err := req.Molecule.ToMolecule()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, reqID, "bad_request", err.Error(), 0)
+		return
+	}
+	if mol.N() > s.cfg.MaxAtoms {
+		writeError(w, http.StatusRequestEntityTooLarge, reqID, "too_large",
+			fmt.Sprintf("%d atoms exceeds limit %d", mol.N(), s.cfg.MaxAtoms), 0)
+		return
+	}
+	var base *OptionsJSON
+	if req.Options != nil {
+		base = &req.Options.OptionsJSON
+	}
+	so := s.streamOptions(s.resolveOpts(base), req.Options)
+
+	ctx, cancel := s.requestContext(r, req.DeadlineMS)
+	defer cancel()
+	queued := time.Now()
+	type createOut struct {
+		ss        *engine.Session
+		startedAt time.Time
+		err       error
+	}
+	outCh := make(chan createOut, 1)
+	if err := s.submit(func() {
+		out := createOut{startedAt: time.Now()}
+		if ctx.Err() != nil {
+			s.metrics.canceled.Add(1)
+			out.err = ctx.Err()
+		} else {
+			out.ss, out.err = engine.NewSession(mol, so)
+		}
+		outCh <- out
+	}); err != nil {
+		s.admissionError(w, reqID, err)
+		return
+	}
+	select {
+	case out := <-outCh:
+		s.sobs.stage(s.sobs.queueWait, "serve.queue", span, queued, out.startedAt.Sub(queued))
+		s.sobs.request(s.sobs.reqStream, "serve.stream", span, reqStart)
+		if out.err != nil {
+			s.metrics.failed.Add(1)
+			writeError(w, http.StatusInternalServerError, reqID, "eval_failed", out.err.Error(), 0)
+			return
+		}
+		st := &streamSession{
+			id:      fmt.Sprintf("s-%s-%04d", s.nonce, s.sessSeq.Add(1)),
+			ss:      out.ss,
+			created: time.Now(),
+		}
+		s.sessMu.Lock()
+		s.evictSessionsLocked(true)
+		st.lastUsed = time.Now()
+		s.sessions[st.id] = st
+		s.sessMu.Unlock()
+		s.metrics.completed.Add(1)
+		s.sobs.stage(s.sobs.streamCreate, "serve.stream.create", span, out.startedAt, time.Since(out.startedAt))
+		s.logf("serve: %s stream create %s atoms=%d qpts=%d E=%.6g", reqID, st.id, out.ss.NumAtoms(), out.ss.NumQPoints(), out.ss.Energy())
+		writeJSON(w, http.StatusOK, StreamCreateResponse{
+			RequestID: reqID,
+			SessionID: st.id,
+			Name:      mol.Name,
+			Atoms:     out.ss.NumAtoms(),
+			QPoints:   out.ss.NumQPoints(),
+			Energy:    out.ss.Energy(),
+			Timings: TimingsJSON{
+				QueueMS:   msBetween(queued, out.startedAt),
+				PrepareMS: msBetween(out.startedAt, time.Now()),
+			},
+		})
+	case <-ctx.Done():
+		s.metrics.deadlineMisses.Add(1)
+		s.sobs.request(s.sobs.reqStream, "serve.stream", span, reqStart)
+		writeError(w, http.StatusGatewayTimeout, reqID, "deadline_exceeded",
+			"request deadline elapsed before the session was built", s.retryAfterHint())
+	}
+}
+
+// handleStreamSub routes /v1/stream/{id} (DELETE = close) and
+// /v1/stream/{id}/frame (POST = step).
+func (s *Server) handleStreamSub(w http.ResponseWriter, r *http.Request) {
+	reqID := s.nextReqID()
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/stream/")
+	id, sub, _ := strings.Cut(rest, "/")
+	switch {
+	case id == "":
+		writeError(w, http.StatusBadRequest, reqID, "bad_request", "missing session id", 0)
+	case sub == "" && (r.Method == http.MethodDelete || r.Method == http.MethodPost):
+		// POST /v1/stream/{id}/close is accepted as DELETE /v1/stream/{id}
+		// for clients that cannot issue DELETE.
+		s.handleStreamClose(w, r, reqID, id)
+	case sub == "close" && r.Method == http.MethodPost:
+		s.handleStreamClose(w, r, reqID, id)
+	case sub == "frame" && r.Method == http.MethodPost:
+		s.handleStreamFrame(w, r, reqID, id)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, reqID, "method_not_allowed",
+			"POST /v1/stream/{id}/frame or DELETE /v1/stream/{id}", 0)
+	}
+}
+
+// handleStreamFrame is POST /v1/stream/{id}/frame: apply one frame delta
+// on a worker and return the updated energy with the frame's dirty-set
+// counters. Frames against one session serialize; the per-frame latency
+// lands in the mode="stream" histogram.
+func (s *Server) handleStreamFrame(w http.ResponseWriter, r *http.Request, reqID, id string) {
+	s.metrics.streamFrames.Add(1)
+	reqStart := time.Now()
+	span := s.sobs.spanID()
+
+	var req StreamFrameRequest
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, reqID, "bad_request", err.Error(), 0)
+		return
+	}
+	st := s.lookupSession(id)
+	if st == nil {
+		writeError(w, http.StatusNotFound, reqID, "not_found",
+			fmt.Sprintf("session %s does not exist (closed or evicted)", id), 0)
+		return
+	}
+	delta := engine.FrameDelta{Moves: make([]engine.AtomMove, len(req.Moves))}
+	for i, mv := range req.Moves {
+		delta.Moves[i] = engine.AtomMove{Index: mv.I, Pos: geom.V(mv.Pos[0], mv.Pos[1], mv.Pos[2])}
+	}
+
+	ctx, cancel := s.requestContext(r, req.DeadlineMS)
+	defer cancel()
+	queued := time.Now()
+	type frameOut struct {
+		rep       engine.FrameReport
+		startedAt time.Time
+		err       error
+	}
+	outCh := make(chan frameOut, 1)
+	if err := s.submit(func() {
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		out := frameOut{startedAt: time.Now()}
+		if ctx.Err() != nil {
+			s.metrics.canceled.Add(1)
+			out.err = ctx.Err()
+		} else {
+			out.rep, out.err = st.ss.Step(delta)
+		}
+		outCh <- out
+	}); err != nil {
+		s.admissionError(w, reqID, err)
+		return
+	}
+	select {
+	case out := <-outCh:
+		s.sobs.stage(s.sobs.queueWait, "serve.queue", span, queued, out.startedAt.Sub(queued))
+		s.sobs.request(s.sobs.reqStream, "serve.stream", span, reqStart)
+		if out.err != nil {
+			if out.err == context.DeadlineExceeded || out.err == context.Canceled {
+				s.metrics.deadlineMisses.Add(1)
+				writeError(w, http.StatusGatewayTimeout, reqID, "deadline_exceeded",
+					"frame deadline elapsed while queued", s.retryAfterHint())
+				return
+			}
+			// Step validates before mutating: a rejected frame leaves the
+			// session usable, so the error is the client's.
+			s.metrics.failed.Add(1)
+			writeError(w, http.StatusBadRequest, reqID, "bad_request", out.err.Error(), 0)
+			return
+		}
+		frameNS := time.Since(out.startedAt).Nanoseconds()
+		s.metrics.completed.Add(1)
+		s.metrics.streamFrameNS.Add(frameNS)
+		s.sobs.stage(s.sobs.streamFrame, "serve.stream.frame", span, out.startedAt, time.Duration(frameNS))
+		writeJSON(w, http.StatusOK, StreamFrameResponse{
+			RequestID:        reqID,
+			SessionID:        id,
+			Frame:            out.rep.Frame,
+			Energy:           out.rep.Energy,
+			MovedAtoms:       out.rep.MovedAtoms,
+			DirtyBornRows:    out.rep.DirtyBornRows,
+			DirtyEpolDrivers: out.rep.DirtyEpolDrivers,
+			PushedRadii:      out.rep.PushedRadii,
+			Rederived:        out.rep.Rederived,
+			Resweep:          out.rep.Resweep,
+			Refreshed:        out.rep.Refreshed,
+			Timings: TimingsJSON{
+				QueueMS: msBetween(queued, out.startedAt),
+				EvalMS:  float64(frameNS) / 1e6,
+			},
+		})
+	case <-ctx.Done():
+		s.metrics.deadlineMisses.Add(1)
+		s.sobs.request(s.sobs.reqStream, "serve.stream", span, reqStart)
+		writeError(w, http.StatusGatewayTimeout, reqID, "deadline_exceeded",
+			"frame deadline elapsed before evaluation completed", s.retryAfterHint())
+	}
+}
+
+// handleStreamClose removes a session from the store. Closing an unknown
+// (or already-evicted) session is a 404 so clients can distinguish a clean
+// close from a racing eviction.
+func (s *Server) handleStreamClose(w http.ResponseWriter, r *http.Request, reqID, id string) {
+	s.sessMu.Lock()
+	st := s.sessions[id]
+	delete(s.sessions, id)
+	s.sessMu.Unlock()
+	if st == nil {
+		writeError(w, http.StatusNotFound, reqID, "not_found",
+			fmt.Sprintf("session %s does not exist (closed or evicted)", id), 0)
+		return
+	}
+	s.metrics.streamCloses.Add(1)
+	// A frame running on a worker holds st.mu, not the store's map — the
+	// close wins the map race and the frame still completes against its
+	// own response channel.
+	st.mu.Lock()
+	frames, energy := st.ss.Frame(), st.ss.Energy()
+	st.mu.Unlock()
+	s.logf("serve: %s stream close %s frames=%d", reqID, id, frames)
+	writeJSON(w, http.StatusOK, StreamCloseResponse{
+		RequestID: reqID,
+		SessionID: id,
+		Frames:    frames,
+		Energy:    energy,
+	})
+}
+
+// requestContext derives the request-scoped deadline context every stream
+// handler uses.
+func (s *Server) requestContext(r *http.Request, deadlineMS int64) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(r.Context(), s.deadlineFor(deadlineMS))
+}

@@ -1,6 +1,7 @@
 package surface
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -10,7 +11,8 @@ import (
 
 // TestComposePoseTranslationExact: for a pure translation the composed
 // complex surface must reproduce Sample(Merge(...)) point for point — same
-// ordering, same culling decisions, same weights.
+// ordering, same culling decisions, same weights. PoseComposer must in turn
+// reproduce ComposePose bitwise, including across reuses of its scratch.
 func TestComposePoseTranslationExact(t *testing.T) {
 	rec := molecule.GenerateProtein("rec", 600, 5)
 	lig := molecule.GenerateProtein("lig", 120, 6)
@@ -23,7 +25,10 @@ func TestComposePoseTranslationExact(t *testing.T) {
 	rb := rec.Bounds()
 	pose := geom.Translation(geom.V(0.6*rb.HalfDiagonal(), 0, 0).Add(rb.Center()).Sub(lig.Bounds().Center()))
 
-	cx, composed := ComposePose("cx", rec, recQ, lig, ligQ, pose, opt)
+	cx, composed, err := ComposePose("cx", rec, recQ, lig, ligQ, pose, opt)
+	if err != nil {
+		t.Fatalf("ComposePose: %v", err)
+	}
 	ref := Sample(molecule.Merge("cx", rec, lig.Transform(pose)), opt)
 
 	if got, want := TotalArea(composed), TotalArea(ref); math.Abs(got-want) > 1e-9*math.Abs(want) {
@@ -47,14 +52,39 @@ func TestComposePoseTranslationExact(t *testing.T) {
 	if len(composed) >= len(recQ)+len(ligQ) {
 		t.Fatalf("no cross-burial culling happened (pose not in contact?)")
 	}
+
+	// PoseComposer parity, twice over the same scratch (second pose at a
+	// slightly different offset, then back, to prove scratch reuse is clean).
+	pc := NewPoseComposer(rec, recQ, lig, ligQ, opt, &ComposeScratch{})
+	poses := []geom.Rigid{pose, geom.Translation(pose.T.Add(geom.V(1.5, -0.5, 0.25))), pose}
+	for k, ps := range poses {
+		wantCx, wantQ, err := ComposePose("cx", rec, recQ, lig, ligQ, ps, opt)
+		if err != nil {
+			t.Fatalf("pose %d: ComposePose: %v", k, err)
+		}
+		gotCx, gotQ, err := pc.Compose("cx", ps)
+		if err != nil {
+			t.Fatalf("pose %d: PoseComposer.Compose: %v", k, err)
+		}
+		if len(gotQ) != len(wantQ) {
+			t.Fatalf("pose %d: composer %d points, ComposePose %d", k, len(gotQ), len(wantQ))
+		}
+		for i := range gotQ {
+			if gotQ[i] != wantQ[i] {
+				t.Fatalf("pose %d point %d differs: %+v vs %+v", k, i, gotQ[i], wantQ[i])
+			}
+		}
+		if gotCx.N() != wantCx.N() {
+			t.Fatalf("pose %d: complex sizes differ", k)
+		}
+	}
 }
 
-// TestComposePoseRotationQuadratureLevel: under rotation the composed
-// surface rotates the ligand's original icosphere tiling while Sample
-// re-tiles in the world frame — two equally valid quadratures of the same
-// surface. Area and (downstream) energies agree at the discretization
-// level, not bitwise.
-func TestComposePoseRotationQuadratureLevel(t *testing.T) {
+// TestComposePoseRejectsRotation: any non-identity rotation violates the
+// exactness contract and must surface as ErrRotatedPose from both the
+// one-shot and the cached composer, so callers fall back to a full
+// re-sample instead of silently getting a re-oriented quadrature.
+func TestComposePoseRejectsRotation(t *testing.T) {
 	rec := molecule.GenerateProtein("rec", 500, 9)
 	lig := molecule.GenerateProtein("lig", 100, 10)
 	opt := Default()
@@ -65,20 +95,15 @@ func TestComposePoseRotationQuadratureLevel(t *testing.T) {
 	pose := geom.RotationAxisAngle(geom.V(0, 1, 0), 0.7)
 	pose.T = geom.V(0, rb.HalfDiagonal()+2, 0).Add(rb.Center())
 
-	_, composed := ComposePose("cx", rec, recQ, lig, ligQ, pose, opt)
-	ref := Sample(molecule.Merge("cx", rec, lig.Transform(pose)), opt)
-
-	got, want := TotalArea(composed), TotalArea(ref)
-	if rel := math.Abs(got-want) / math.Abs(want); rel > 5e-3 {
-		t.Fatalf("composed area %.6g vs sampled %.6g (rel %.2g > 5e-3)", got, want, rel)
+	if _, _, err := ComposePose("cx", rec, recQ, lig, ligQ, pose, opt); !errors.Is(err, ErrRotatedPose) {
+		t.Fatalf("ComposePose(rotated) err = %v, want ErrRotatedPose", err)
 	}
-
-	// Weights must be preserved exactly through the rigid transform and
-	// normals must stay unit length.
-	for i := range composed {
-		n := composed[i].Normal
-		if math.Abs(n.Dot(n)-1) > 1e-12 {
-			t.Fatalf("point %d normal not unit after rotation", i)
-		}
+	pc := NewPoseComposer(rec, recQ, lig, ligQ, opt, nil)
+	if _, _, err := pc.Compose("cx", pose); !errors.Is(err, ErrRotatedPose) {
+		t.Fatalf("PoseComposer.Compose(rotated) err = %v, want ErrRotatedPose", err)
+	}
+	// A pure translation still works on the same composer.
+	if _, _, err := pc.Compose("cx", geom.Translation(pose.T)); err != nil {
+		t.Fatalf("PoseComposer.Compose(translation) err = %v", err)
 	}
 }

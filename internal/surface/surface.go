@@ -61,10 +61,22 @@ func Default() Options { return Options{SubdivLevel: 1, Degree: 1, RadiusScale: 
 
 // Sample generates the surface quadrature point set of mol.
 func Sample(mol *molecule.Molecule, opt Options) []QPoint {
+	q, _ := SampleOwned(mol, opt)
+	return q
+}
+
+// SampleOwned is Sample additionally reporting, for every quadrature point,
+// the index of the atom whose sphere it was placed on. Owners are what lets
+// incremental (streaming) evaluation transport q-points rigidly with their
+// parent atom when it moves: a point at atomPos + r·dir stays at the same
+// offset under translation, and its normal and weight are translation
+// invariant. Burial culling is decided at sampling time and not revisited
+// by such transports (see engine.Session).
+func SampleOwned(mol *molecule.Molecule, opt Options) ([]QPoint, []int32) {
 	opt = opt.withDefaults()
 	n := mol.N()
 	if n == 0 {
-		return nil
+		return nil, nil
 	}
 
 	mesh := quadrature.Icosphere(opt.SubdivLevel)
@@ -102,6 +114,7 @@ func Sample(mol *molecule.Molecule, opt Options) []QPoint {
 	tree := octree.Build(centers, 0)
 
 	out := make([]QPoint, 0, n*4)
+	owners := make([]int32, 0, n*4)
 	for i := range mol.Atoms {
 		ai := &mol.Atoms[i]
 		ri := ai.Radius * opt.RadiusScale
@@ -115,9 +128,10 @@ func Sample(mol *molecule.Molecule, opt Options) []QPoint {
 				Normal: pp.dir,
 				Weight: pp.w * ri * ri,
 			})
+			owners = append(owners, int32(i))
 		}
 	}
-	return out
+	return out, owners
 }
 
 // buried reports whether point p (on atom self's sphere) lies strictly
