@@ -1,13 +1,17 @@
 GO ?= go
 
-.PHONY: verify build vet staticcheck test race fuzz chaos obs-smoke bench bench-kernels bench-kernels-check bench-comm serve-bench bench-stream bench-stream-check
+.PHONY: verify build vet staticcheck test race fuzz chaos obs-smoke load-check load-bench load-live bench bench-kernels bench-kernels-check bench-comm serve-bench bench-stream bench-stream-check
 
 ## verify: the tier-1 gate — build, vet (+staticcheck when installed), full
 ## tests, race-test the concurrency-bearing packages (scheduler, treecode
 ## kernels, cluster transports, distributed engines, chaos harness,
-## observability, serving), then smoke the /metrics exposition. Run
-## bench-kernels-check as well before merging kernel-touching changes.
-verify: build vet staticcheck test race obs-smoke
+## observability, serving, load harness), smoke the /metrics exposition,
+## then replay the committed load trace through the virtual-time simulator
+## and gate on its SLO. load-check joins verify (unlike the timing-based
+## bench-*-check gates) because the simulation is deterministic — it cannot
+## flake on a loaded machine. Run bench-kernels-check as well before
+## merging kernel-touching changes.
+verify: build vet staticcheck test race obs-smoke load-check
 
 build:
 	$(GO) build ./...
@@ -28,7 +32,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sched/... ./internal/core/... ./internal/cluster/... ./internal/engine/... ./internal/clusterchaos/... ./internal/serve/... ./internal/obs/...
+	$(GO) test -race ./internal/sched/... ./internal/core/... ./internal/cluster/... ./internal/engine/... ./internal/clusterchaos/... ./internal/serve/... ./internal/obs/... ./internal/loadgen/...
 
 ## obs-smoke: boot the instrumented serving stack on a loopback port, drive
 ## requests through it and fail on any malformed /metrics exposition line
@@ -37,18 +41,41 @@ race:
 obs-smoke:
 	$(GO) run ./cmd/obssmoke
 
-## fuzz: short smoke of the native fuzz targets (wire-frame decoder and PQR
-## parser) on top of their committed seed corpora. CI-friendly budget; run
-## with a larger -fuzztime locally to dig.
+## fuzz: short smoke of the native fuzz targets (wire-frame decoder, PQR
+## parser, load-trace spec) on top of their committed seed corpora.
+## CI-friendly budget; run with a larger -fuzztime locally to dig.
 fuzz:
 	$(GO) test ./internal/cluster/ -run '^$$' -fuzz FuzzDecodeFrame -fuzztime 10s
 	$(GO) test ./internal/molecule/ -run '^$$' -fuzz FuzzParsePQR -fuzztime 10s
+	$(GO) test ./internal/loadgen/ -run '^$$' -fuzz FuzzTraceSpec -fuzztime 10s
 
 ## chaos: the full fault-injection acceptance matrix — every fault class ×
 ## both transports × P ∈ {2,4,8} × 8 seeds. The fatal classes each spend
 ## their receive timeout, so this takes minutes by design.
 chaos:
 	CHAOS_FULL=1 $(GO) test ./internal/clusterchaos/ -run TestChaosMatrix -timeout 30m -v
+
+## load-check: SLO regression gate — replay the committed steady-mixed
+## trace through the virtual-time simulator, untuned then with the
+## admission tuner, and fail if the tuned run misses the trace's SLO,
+## admits less throughput than the untuned baseline, or drifts >15% from
+## the committed BENCH_slo.json (p99 up or admitted qps down). Pure
+## simulation: deterministic, seconds of wall time, safe under CI load.
+load-check:
+	$(GO) run ./cmd/loadgen -trace traces/steady-mixed.json -check BENCH_slo.json
+
+## load-bench: regenerate the committed BENCH_slo.json baseline from the
+## steady-mixed trace. Commit the result alongside any intentional change
+## to the trace, the tuner, or the simulator's cost model.
+load-bench:
+	$(GO) run ./cmd/loadgen -trace traces/steady-mixed.json -o BENCH_slo.json
+
+## load-live: wall-clock smoke of the live replay path — boots a real
+## server on a loopback port and drives the small committed live trace
+## through it. Latencies are honest but machine-dependent; nothing is
+## gated on them.
+load-live:
+	$(GO) run ./cmd/loadgen -trace traces/live-smoke.json -mode live
 
 ## bench: every figure/table benchmark at reduced scale.
 bench:

@@ -7,6 +7,7 @@
 //	epolserve -addr :8686 -workers 2 -threads 4
 //	epolserve -ranks 4                  # hybrid engine for cold requests
 //	epolserve -cache-mb 1024 -queue 256 # bigger deployment
+//	epolserve -slo-p99 150ms -slo-min-qps 50   # self-tuning admission
 //
 // Endpoints: POST /v1/energy, POST /v1/sweep, POST /v1/stream (create an
 // incremental session) with POST /v1/stream/{id}/frame and DELETE
@@ -69,6 +70,9 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		subdiv      = fs.Int("subdiv", 1, "default surface icosphere subdivision level")
 		degree      = fs.Int("degree", 1, "default Dunavant quadrature degree (1-5)")
 		observe     = fs.Bool("observe", true, "expose /metrics, /debug/trace and /debug/pprof/* and record latency histograms")
+		sloP99      = fs.Duration("slo-p99", 0, "enable the admission tuner: steer batch window, queue depth and shed threshold toward this admitted-p99 target (0 = tuner off)")
+		sloQPS      = fs.Float64("slo-min-qps", 0, "admitted-throughput floor the tuner protects while tightening (with -slo-p99)")
+		sloEvery    = fs.Duration("slo-interval", time.Second, "tuner control interval (with -slo-p99)")
 		verbose     = fs.Bool("v", false, "log every request")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -98,6 +102,12 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	}
 	if *observe {
 		cfg.Observe = obs.New()
+	}
+	if *sloP99 > 0 {
+		cfg.Tuner = &serve.TunerConfig{
+			SLO:      serve.SLO{P99: *sloP99, MinQPS: *sloQPS},
+			Interval: *sloEvery,
+		}
 	}
 	if *verbose {
 		cfg.Logger = log.New(out, "", log.LstdFlags|log.Lmicroseconds)

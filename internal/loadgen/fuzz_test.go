@@ -1,0 +1,56 @@
+package loadgen
+
+import (
+	"testing"
+)
+
+// FuzzTraceSpec feeds arbitrary bytes through the full parse → validate →
+// generate pipeline. The contract under fuzzing: malformed input always
+// comes back as an error, never a panic, and anything that parses must
+// generate without panicking. Seeds below cover the documented error
+// classes (malformed weights, zero-rate arrivals, negative seeds); the
+// committed corpus in testdata/fuzz/FuzzTraceSpec keeps past findings
+// regression-tested.
+func FuzzTraceSpec(f *testing.F) {
+	f.Add([]byte(validSpecJSON()))
+	f.Add([]byte(`{"name":"neg","seed":-1,"requests":10,"arrivals":{"process":"poisson","rate_hz":10},"classes":[{"kind":"energy","weight":1,"atoms":100}]}`))
+	f.Add([]byte(`{"name":"zr","seed":1,"requests":10,"arrivals":{"process":"pareto","rate_hz":0},"classes":[{"kind":"energy","weight":1,"atoms":100}]}`))
+	f.Add([]byte(`{"name":"w","seed":1,"requests":10,"arrivals":{"process":"poisson","rate_hz":10},"classes":[{"kind":"energy","weight":-3,"atoms":100}]}`))
+	f.Add([]byte(`{"name":"w2","seed":1,"requests":10,"arrivals":{"process":"lognormal","rate_hz":1e308,"sigma":1e-300},"classes":[{"kind":"sweep","weight":1e-300,"atoms":1,"poses":1}]}`))
+	f.Add([]byte(`{"name":"s","seed":1,"requests":3,"arrivals":{"process":"poisson","rate_hz":2},"classes":[{"kind":"stream","weight":1,"atoms":50,"frames":2,"movers":50}]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"name":`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := ParseTraceSpec(data)
+		if err != nil {
+			if spec != nil {
+				t.Fatalf("error %v returned non-nil spec", err)
+			}
+			return
+		}
+		// Keep fuzz iterations cheap: the arrival count is the only knob
+		// that scales work, and Validate already bounded it — clamp far
+		// lower so the fuzzer spends its budget on structure, not loops.
+		if spec.Requests > 64 {
+			spec.Requests = 64
+		}
+		reqs, err := Generate(spec)
+		if err != nil {
+			t.Fatalf("validated spec failed to generate: %v", err)
+		}
+		if len(reqs) != spec.Requests {
+			t.Fatalf("generated %d of %d", len(reqs), spec.Requests)
+		}
+		for i, r := range reqs {
+			if r.At < 0 {
+				t.Fatalf("request %d has negative arrival %v", i, r.At)
+			}
+			if i > 0 && r.At < reqs[i-1].At {
+				t.Fatalf("arrivals not monotone at %d", i)
+			}
+		}
+		_ = Serialize(reqs)
+	})
+}

@@ -1,0 +1,200 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"octgb/internal/molecule"
+	"octgb/internal/obs"
+	"octgb/internal/serve"
+)
+
+// LiveOptions configures a wall-clock replay against a real server.
+type LiveOptions struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8686".
+	BaseURL string
+	// Client is the HTTP client (default: http.DefaultClient).
+	Client *http.Client
+	// Speed dilates the trace's virtual timeline: 2 replays arrivals
+	// twice as fast, 0.5 half speed (default 1). The single-core dev box
+	// runs live smokes at low speed; CI gates run the simulator instead.
+	Speed float64
+}
+
+// liveCounters collects the run's outcome across request goroutines.
+type liveCounters struct {
+	admitted, completed, rejected, shed, failed, aborted atomic.Int64
+	reqHist, queueHist                                   *obs.Histogram
+	// measured counts completions inside the measurement window (after
+	// warmAt); the histograms likewise only see post-warm-up latencies.
+	measured atomic.Int64
+	warmAt   time.Time
+}
+
+// RunLive replays the arrival sequence against a live server, open-loop:
+// each arrival fires at its scheduled wall time whether or not earlier
+// requests have answered. Stream sessions are closed-loop internally
+// (frame n+1 posts when frame n returns), matching the simulator's model.
+func RunLive(spec *TraceSpec, reqs []Request, opt LiveOptions) (*Report, error) {
+	if opt.BaseURL == "" {
+		return nil, fmt.Errorf("loadgen: live run needs a BaseURL")
+	}
+	if opt.Client == nil {
+		opt.Client = http.DefaultClient
+	}
+	if opt.Speed <= 0 {
+		opt.Speed = 1
+	}
+
+	// Molecules are deterministic per (class, variant) and generated
+	// before the clock starts so construction cost never pollutes the
+	// measured latencies.
+	mols := make(map[batchKey]serve.MoleculeJSON)
+	for _, r := range reqs {
+		k := batchKey{r.Class, r.Variant}
+		if _, ok := mols[k]; !ok {
+			name := fmt.Sprintf("%s-c%d-v%d", spec.Name, r.Class, r.Variant)
+			seed := spec.Seed + int64(r.Class)*1009 + int64(r.Variant)
+			mols[k] = serve.FromMolecule(molecule.GenerateProtein(name, r.Atoms, seed))
+		}
+	}
+
+	ctr := &liveCounters{reqHist: &obs.Histogram{}, queueHist: &obs.Histogram{}}
+	start := time.Now()
+	// Warm-up is specified in trace time, so it dilates with Speed like
+	// the arrival schedule does.
+	ctr.warmAt = start.Add(time.Duration(spec.SLO.WarmupS / opt.Speed * float64(time.Second)))
+	var wg sync.WaitGroup
+	for _, r := range reqs {
+		due := start.Add(time.Duration(float64(r.At) / opt.Speed))
+		if d := time.Until(due); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func(r Request) {
+			defer wg.Done()
+			fire(opt, ctr, mols[batchKey{r.Class, r.Variant}], r)
+		}(r)
+	}
+	wg.Wait()
+
+	rep := &Report{
+		Trace:             spec.Name,
+		Mode:              "live",
+		Offered:           int64(len(reqs)),
+		Admitted:          ctr.admitted.Load(),
+		Completed:         ctr.completed.Load(),
+		RejectedQueueFull: ctr.rejected.Load(),
+		Shed:              ctr.shed.Load(),
+		Failed:            ctr.failed.Load(),
+		AbortedSessions:   ctr.aborted.Load(),
+		DurationS:         time.Since(start).Seconds(),
+	}
+	span := time.Since(start)
+	if w := time.Duration(spec.SLO.WarmupS / opt.Speed * float64(time.Second)); w > 0 && w < span {
+		span -= w
+		rep.WarmupS = w.Seconds()
+	}
+	rep.fillLatencyWindow(ctr.reqHist.Snapshot(), ctr.queueHist.Snapshot(), ctr.measured.Load(), span)
+	return rep, nil
+}
+
+// fire dispatches one arrival and records its outcome.
+func fire(opt LiveOptions, ctr *liveCounters, mol serve.MoleculeJSON, r Request) {
+	switch r.Kind {
+	case KindSweep:
+		poses := make([]serve.PoseJSON, r.Poses)
+		for i := range poses {
+			poses[i] = serve.PoseJSON{T: [3]float64{float64(r.ID%7) + 0.25*float64(i), 0, 0}}
+		}
+		post(opt, ctr, "/v1/sweep", serve.SweepRequest{Ligand: mol, Poses: poses}, nil)
+	case KindStream:
+		runSession(opt, ctr, mol, r)
+	default:
+		post(opt, ctr, "/v1/energy", serve.EnergyRequest{Molecule: mol}, nil)
+	}
+}
+
+// runSession is one closed-loop stream client: create, then frames
+// back-to-back. A rejected create or frame ends the session, like the
+// simulator's abort semantics.
+func runSession(opt LiveOptions, ctr *liveCounters, mol serve.MoleculeJSON, r Request) {
+	var created serve.StreamCreateResponse
+	if !post(opt, ctr, "/v1/stream", serve.StreamCreateRequest{Molecule: mol}, &created) {
+		return
+	}
+	for f := 0; f < r.Frames; f++ {
+		moves := make([]serve.MoveJSON, r.Movers)
+		for i := range moves {
+			a := mol.Atoms[i%len(mol.Atoms)]
+			moves[i] = serve.MoveJSON{I: i % len(mol.Atoms), Pos: [3]float64{
+				a[0] + 0.01*float64(f+1), a[1], a[2],
+			}}
+		}
+		if !post(opt, ctr, "/v1/stream/"+created.SessionID+"/frame", serve.StreamFrameRequest{Moves: moves}, nil) {
+			ctr.aborted.Add(1)
+			return
+		}
+	}
+	req, err := http.NewRequest(http.MethodDelete, opt.BaseURL+"/v1/stream/"+created.SessionID, nil)
+	if err == nil {
+		if resp, err := opt.Client.Do(req); err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+}
+
+// post sends one JSON request, classifies the outcome into the counters,
+// and reports whether it succeeded.
+func post(opt LiveOptions, ctr *liveCounters, path string, body, out any) bool {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		ctr.failed.Add(1)
+		return false
+	}
+	t0 := time.Now()
+	resp, err := opt.Client.Post(opt.BaseURL+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		ctr.failed.Add(1)
+		return false
+	}
+	defer resp.Body.Close()
+	lat := time.Since(t0)
+
+	if resp.StatusCode == http.StatusOK {
+		ctr.admitted.Add(1)
+		ctr.completed.Add(1)
+		if t0.After(ctr.warmAt) || time.Now().After(ctr.warmAt) {
+			ctr.measured.Add(1)
+			ctr.reqHist.Observe(lat)
+		}
+		if out != nil {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				ctr.failed.Add(1)
+				return false
+			}
+		} else {
+			io.Copy(io.Discard, resp.Body)
+		}
+		return true
+	}
+
+	var e serve.ErrorResponse
+	_ = json.NewDecoder(resp.Body).Decode(&e)
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests && e.Error == "shed_load":
+		ctr.shed.Add(1)
+	case resp.StatusCode == http.StatusTooManyRequests:
+		ctr.rejected.Add(1)
+	default:
+		ctr.failed.Add(1)
+	}
+	return false
+}

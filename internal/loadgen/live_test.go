@@ -1,0 +1,58 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"octgb/internal/serve"
+	"octgb/internal/testutil"
+)
+
+// TestRunLiveSmoke drives a tiny trace against a real in-process server —
+// wall-clock mode end to end. Deliberately small (the dev box has one
+// core): a handful of 80-atom evaluations and one short stream session.
+func TestRunLiveSmoke(t *testing.T) {
+	defer testutil.Watchdog(t, 2*time.Minute)()
+	srv := serve.New(serve.Config{Workers: 1, Threads: 1, MaxQueue: 16})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+
+	spec := &TraceSpec{
+		Name:     "live-smoke-test",
+		Seed:     9,
+		Requests: 6,
+		Arrivals: ArrivalSpec{Process: ProcPoisson, RateHz: 50},
+		Classes: []ClassSpec{
+			{Kind: KindEnergy, Weight: 4, Atoms: 80},
+			{Kind: KindStream, Weight: 1, Atoms: 80, Frames: 2, Movers: 3},
+		},
+	}
+	reqs, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunLive(spec, reqs, LiveOptions{BaseURL: ts.URL, Speed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "live" || rep.Offered != 6 {
+		t.Fatalf("report header off: %+v", rep)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("%d transport/5xx failures: %+v", rep.Failed, rep)
+	}
+	if rep.Completed == 0 || rep.P99MS <= 0 {
+		t.Fatalf("nothing measured: %+v", rep)
+	}
+	// Every offered arrival was accounted for somewhere.
+	if rep.Completed+rep.RejectedQueueFull+rep.Shed < rep.Offered {
+		t.Fatalf("accounting leak: %+v", rep)
+	}
+}

@@ -1,0 +1,81 @@
+package loadgen
+
+import (
+	"fmt"
+	"time"
+
+	"octgb/internal/obs"
+	"octgb/internal/serve"
+)
+
+// Report is one replay's outcome — the unit BENCH_slo.json commits and
+// `cmd/loadgen -check` regresses against.
+type Report struct {
+	Trace string `json:"trace"`
+	// Mode is "sim" (virtual time) or "live" (wall clock against a real
+	// server).
+	Mode  string `json:"mode"`
+	Tuned bool   `json:"tuned"`
+
+	// DurationS is the replay span in seconds (virtual or wall).
+	DurationS float64 `json:"duration_s"`
+	// WarmupS is the excluded start-up window (see SLOSpec.WarmupS): the
+	// quantile and QPS fields below measure only operations completing
+	// after it. Counters (Offered/Admitted/...) always cover the full run.
+	WarmupS float64 `json:"warmup_s,omitempty"`
+
+	// Offered is the trace's arrival count. Admitted counts admitted
+	// operations (stream frames included, so it can exceed Offered);
+	// Completed the operations that finished.
+	Offered           int64 `json:"offered"`
+	Admitted          int64 `json:"admitted"`
+	Completed         int64 `json:"completed"`
+	RejectedQueueFull int64 `json:"rejected_queue_full"`
+	Shed              int64 `json:"shed"`
+	// AbortedSessions counts stream sessions ended early by a rejected
+	// frame.
+	AbortedSessions int64 `json:"aborted_sessions,omitempty"`
+	// Failed counts live-mode transport or 5xx failures.
+	Failed int64 `json:"failed,omitempty"`
+
+	AdmittedQPS float64 `json:"admitted_qps"`
+	P50MS       float64 `json:"p50_ms"`
+	P95MS       float64 `json:"p95_ms"`
+	P99MS       float64 `json:"p99_ms"`
+	QueueP99MS  float64 `json:"queue_p99_ms"`
+
+	// Decisions is the tuner's deterministic decision log (tuned runs).
+	Decisions []string `json:"decisions,omitempty"`
+	// FinalKnobs are the admission knobs in force at the end of the run.
+	FinalKnobs *serve.Knobs `json:"final_knobs,omitempty"`
+}
+
+// fillLatency derives the quantile and throughput fields from the run's
+// completed-request and queue-wait histograms over the full run.
+func (r *Report) fillLatency(req, queue obs.HistSnapshot) {
+	r.fillLatencyWindow(req, queue, r.Completed, time.Duration(r.DurationS*float64(time.Second)))
+}
+
+// fillLatencyWindow is fillLatency over an explicit measurement window —
+// post-warm-up snapshot diffs with their own completion count and span.
+func (r *Report) fillLatencyWindow(req, queue obs.HistSnapshot, completed int64, span time.Duration) {
+	r.P50MS = float64(req.Quantile(0.50)) / 1e6
+	r.P95MS = float64(req.Quantile(0.95)) / 1e6
+	r.P99MS = float64(req.Quantile(0.99)) / 1e6
+	r.QueueP99MS = float64(queue.Quantile(0.99)) / 1e6
+	if s := span.Seconds(); s > 0 {
+		r.AdmittedQPS = float64(completed) / s
+	}
+}
+
+// CheckSLO verifies a report against the objective: admitted p99 at or
+// under the target, admitted throughput at or over the floor.
+func (r *Report) CheckSLO(slo SLOSpec) error {
+	if slo.P99MS > 0 && r.P99MS > slo.P99MS {
+		return fmt.Errorf("loadgen: %s/%s p99 %.1fms exceeds SLO %.1fms", r.Trace, r.Mode, r.P99MS, slo.P99MS)
+	}
+	if slo.MinQPS > 0 && r.AdmittedQPS < slo.MinQPS {
+		return fmt.Errorf("loadgen: %s/%s admitted %.2f qps under SLO floor %.2f", r.Trace, r.Mode, r.AdmittedQPS, slo.MinQPS)
+	}
+	return nil
+}

@@ -1,0 +1,459 @@
+package loadgen
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"octgb/internal/obs"
+	"octgb/internal/serve"
+	"octgb/internal/simtime"
+)
+
+// SimOptions configures a virtual-time replay.
+type SimOptions struct {
+	// Costs are the service-time surrogates (zero value → calibrated
+	// defaults).
+	Costs simtime.ServeCosts
+	// Tuner, when non-nil with a positive SLO.P99, runs the serve.Tuner
+	// control loop inside the simulation at virtual-time intervals —
+	// the same state machine the live server runs, fed the same window
+	// shape, so its decision log replays identically.
+	Tuner *serve.TunerConfig
+}
+
+// event kinds, in deterministic tie-break order: at equal virtual times,
+// completions land before the tuner samples, the tuner decides before new
+// arrivals are admitted (so a knob change is visible to the arrival that
+// shares its timestamp), and batch flushes follow arrivals so a request
+// arriving exactly at window close still joins its batch.
+const (
+	evComplete = iota
+	evTick
+	evWarm
+	evArrival
+	evFrame
+	evFlush
+)
+
+type simEvent struct {
+	at   time.Duration
+	kind int
+	seq  int // FIFO tie-break within (at, kind)
+
+	req  Request     // evArrival
+	key  batchKey    // evFlush
+	job  *simJob     // evComplete
+	sess *simSession // evFrame
+}
+
+type eventHeap []*simEvent
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].kind != h[j].kind {
+		return h[i].kind < h[j].kind
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*simEvent)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// batchKey identifies a coalescible sweep batch, mirroring serve.sweepKey:
+// same class (same molecules and options) and same variant.
+type batchKey struct{ class, variant int }
+
+// simWaiter is one admitted request riding a job.
+type simWaiter struct {
+	arrivedAt time.Duration
+	sess      *simSession // non-nil: completing this job advances the session
+}
+
+// simJob is one unit of worker-pool work: an energy evaluation, a
+// coalesced sweep batch, a session create or a frame.
+type simJob struct {
+	service    time.Duration
+	enqueuedAt time.Duration
+	waiters    []simWaiter
+}
+
+// simBatch is an open sweep-coalescing window.
+type simBatch struct {
+	key     batchKey
+	atoms   int
+	poses   int
+	waiters []simWaiter
+}
+
+// simSession is a closed-loop stream client: create, then frames
+// back-to-back, each submitted when the previous completes.
+type simSession struct {
+	atoms, movers int
+	framesLeft    int
+	created       bool
+}
+
+// simulator is the discrete-event model of the serving tier: a bounded
+// FIFO queue in front of Workers parallel servers, sweep batching, the
+// shed-load estimator, and (optionally) the tuner control loop — the same
+// admission semantics internal/serve implements, with ServeCosts standing
+// in for the engine.
+type simulator struct {
+	spec  *TraceSpec
+	costs simtime.ServeCosts
+
+	workers int
+	busy    int
+	fifo    []*simJob
+
+	// Tunable knobs, mirroring the server's atomics.
+	queueLimit  int
+	shedLat     time.Duration
+	batchWindow time.Duration
+
+	events eventHeap
+	seq    int
+	now    time.Duration
+
+	batches map[batchKey]*simBatch
+	cold    map[batchKey]bool
+
+	// Cumulative counters and histograms — the same shape the live tuner
+	// loop samples, diffed per window.
+	completed, rejected, shed int64
+	admitted, aborted         int64
+	evalNS, evals             int64
+	reqHist, queueHist        *obs.Histogram
+
+	tuner    *serve.Tuner
+	tunerCfg serve.TunerConfig
+	prevWin  tunerSample
+
+	// warm is the measurement-window baseline captured at SLO.WarmupS —
+	// the report's quantiles and throughput are diffed against it so the
+	// cold-start and tuner-convergence transient stays out of the
+	// steady-state numbers.
+	warm    tunerSample
+	hasWarm bool
+}
+
+type tunerSample struct {
+	at                        time.Duration
+	completed, rejected, shed int64
+	req, queue                obs.HistSnapshot
+}
+
+// Simulate replays a generated arrival sequence through the queueing model
+// and returns the run's report. Deterministic: same spec + options →
+// identical report, including the tuner decision log.
+func Simulate(spec *TraceSpec, reqs []Request, opt SimOptions) (*Report, error) {
+	if spec == nil {
+		return nil, fmt.Errorf("loadgen: nil spec")
+	}
+	if opt.Costs == (simtime.ServeCosts{}) {
+		opt.Costs = simtime.DefaultServeCosts()
+	}
+	s := &simulator{
+		spec:      spec,
+		costs:     opt.Costs,
+		workers:   spec.Sim.Workers,
+		batches:   make(map[batchKey]*simBatch),
+		cold:      make(map[batchKey]bool),
+		reqHist:   &obs.Histogram{},
+		queueHist: &obs.Histogram{},
+	}
+	if s.workers <= 0 {
+		s.workers = 2
+	}
+	queue := spec.Sim.Queue
+	if queue <= 0 {
+		queue = 64
+	}
+	s.queueLimit = queue
+	s.batchWindow = time.Duration(spec.Sim.BatchWindowMS * float64(time.Millisecond))
+	if s.batchWindow <= 0 {
+		s.batchWindow = 5 * time.Millisecond
+	}
+	initial := serve.Knobs{BatchWindow: s.batchWindow, QueueLimit: s.queueLimit}
+
+	if opt.Tuner != nil && opt.Tuner.SLO.P99 > 0 {
+		s.tunerCfg = *opt.Tuner
+		if s.tunerCfg.Interval <= 0 {
+			s.tunerCfg.Interval = time.Second
+		}
+		if s.tunerCfg.Hysteresis <= 0 {
+			s.tunerCfg.Hysteresis = 2
+		}
+		if s.tunerCfg.MinQueue <= 0 {
+			s.tunerCfg.MinQueue = 2 * s.workers
+		}
+		if s.tunerCfg.MaxQueue <= 0 {
+			s.tunerCfg.MaxQueue = queue
+		}
+		if s.tunerCfg.MinQueue > s.tunerCfg.MaxQueue {
+			s.tunerCfg.MinQueue = s.tunerCfg.MaxQueue
+		}
+		if s.tunerCfg.MinBatchWindow <= 0 {
+			s.tunerCfg.MinBatchWindow = time.Millisecond
+		}
+		if s.tunerCfg.MaxBatchWindow <= 0 {
+			s.tunerCfg.MaxBatchWindow = 4 * s.batchWindow
+			if q := s.tunerCfg.SLO.P99 / 4; q > s.tunerCfg.MaxBatchWindow {
+				s.tunerCfg.MaxBatchWindow = q
+			}
+		}
+		s.tuner = serve.NewTuner(s.tunerCfg, initial)
+		s.push(&simEvent{at: s.tunerCfg.Interval, kind: evTick})
+	}
+
+	if w := spec.SLO.WarmupS; w > 0 {
+		s.push(&simEvent{at: time.Duration(w * float64(time.Second)), kind: evWarm})
+	}
+	for _, r := range reqs {
+		s.push(&simEvent{at: r.At, kind: evArrival, req: r})
+	}
+	s.run()
+
+	rep := s.report()
+	rep.Trace = spec.Name
+	rep.Mode = "sim"
+	rep.Tuned = s.tuner != nil
+	return rep, nil
+}
+
+func (s *simulator) push(e *simEvent) {
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.events, e)
+}
+
+func (s *simulator) run() {
+	for s.events.Len() > 0 {
+		e := heap.Pop(&s.events).(*simEvent)
+		s.now = e.at
+		switch e.kind {
+		case evArrival:
+			s.arrive(e.req)
+		case evFrame:
+			s.frameArrive(e.sess)
+		case evFlush:
+			s.flush(e.key)
+		case evComplete:
+			s.complete(e.job)
+		case evTick:
+			s.tick()
+		case evWarm:
+			s.warm = s.sample()
+			s.hasWarm = true
+		}
+	}
+}
+
+// admit mirrors serve.(*Server).admissionCheck: the effective queue-depth
+// limit, then the shed-load estimate against the observed mean service
+// time. Returns "" when admitted, else the rejection token.
+func (s *simulator) admit() string {
+	depth := len(s.fifo)
+	if depth >= s.queueLimit {
+		s.rejected++
+		return "queue_full"
+	}
+	if s.shedLat > 0 && depth >= s.workers && s.evals > 0 {
+		est := int64(depth/s.workers) * (s.evalNS / s.evals)
+		if est > int64(s.shedLat) {
+			s.shed++
+			return "shed_load"
+		}
+	}
+	return ""
+}
+
+// coldKey reports (and consumes) whether this class/variant's prepared
+// state is not yet cached. The model's cache never evicts — trace-scale
+// working sets fit the serve tier's default budget.
+func (s *simulator) coldKey(k batchKey) bool {
+	if s.cold[k] {
+		return false
+	}
+	s.cold[k] = true
+	return true
+}
+
+func (s *simulator) arrive(r Request) {
+	k := batchKey{r.Class, r.Variant}
+	switch r.Kind {
+	case KindSweep:
+		if s.admit() != "" {
+			return
+		}
+		s.admitted++
+		b, ok := s.batches[k]
+		if !ok {
+			b = &simBatch{key: k, atoms: r.Atoms}
+			s.batches[k] = b
+			s.push(&simEvent{at: s.now + s.batchWindow, kind: evFlush, key: k})
+		}
+		b.poses += r.Poses
+		b.waiters = append(b.waiters, simWaiter{arrivedAt: s.now})
+	case KindStream:
+		if s.admit() != "" {
+			return
+		}
+		s.admitted++
+		sess := &simSession{atoms: r.Atoms, movers: r.Movers, framesLeft: r.Frames}
+		s.enqueue(&simJob{
+			service: s.costs.StreamCreate(r.Atoms),
+			waiters: []simWaiter{{arrivedAt: s.now, sess: sess}},
+		})
+	default: // energy
+		if s.admit() != "" {
+			return
+		}
+		s.admitted++
+		s.enqueue(&simJob{
+			service: s.costs.Energy(r.Atoms, s.coldKey(k)),
+			waiters: []simWaiter{{arrivedAt: s.now}},
+		})
+	}
+}
+
+// frameArrive is a session's next frame hitting admission. A rejected
+// frame aborts the session: the closed-loop client's turn is over, which
+// is exactly how overload self-limits closed-loop traffic.
+func (s *simulator) frameArrive(sess *simSession) {
+	if s.admit() != "" {
+		s.aborted++
+		return
+	}
+	s.admitted++
+	s.enqueue(&simJob{
+		service: s.costs.StreamFrame(sess.movers),
+		waiters: []simWaiter{{arrivedAt: s.now, sess: sess}},
+	})
+}
+
+// flush closes a sweep batch window: the coalesced batch becomes one job.
+// Like serve.submitBatch, already-admitted batches bypass admission.
+func (s *simulator) flush(k batchKey) {
+	b := s.batches[k]
+	if b == nil {
+		return
+	}
+	delete(s.batches, k)
+	s.enqueue(&simJob{
+		service: s.costs.SweepBatch(b.atoms, b.poses, s.coldKey(k)),
+		waiters: b.waiters,
+	})
+}
+
+// enqueue hands a job to the worker pool: start immediately on a free
+// worker, else park FIFO.
+func (s *simulator) enqueue(j *simJob) {
+	j.enqueuedAt = s.now
+	if s.busy < s.workers {
+		s.start(j)
+		return
+	}
+	s.fifo = append(s.fifo, j)
+}
+
+func (s *simulator) start(j *simJob) {
+	s.busy++
+	wait := s.now - j.enqueuedAt
+	for range j.waiters {
+		s.queueHist.Observe(wait)
+	}
+	s.push(&simEvent{at: s.now + j.service, kind: evComplete, job: j})
+}
+
+func (s *simulator) complete(j *simJob) {
+	s.busy--
+	s.evalNS += int64(j.service)
+	s.evals++
+	for _, w := range j.waiters {
+		s.reqHist.Observe(s.now - w.arrivedAt)
+		s.completed++
+		if w.sess != nil {
+			sess := w.sess
+			if !sess.created {
+				sess.created = true
+			} else {
+				sess.framesLeft--
+			}
+			if sess.framesLeft > 0 {
+				s.push(&simEvent{at: s.now, kind: evFrame, sess: sess})
+			}
+		}
+	}
+	if len(s.fifo) > 0 {
+		next := s.fifo[0]
+		s.fifo = s.fifo[1:]
+		s.start(next)
+	}
+}
+
+// tick is one tuner control interval in virtual time — the same
+// sample/diff/Step/apply sequence the live tunerLoop runs.
+func (s *simulator) sample() tunerSample {
+	return tunerSample{
+		at:        s.now,
+		completed: s.completed,
+		rejected:  s.rejected,
+		shed:      s.shed,
+		req:       s.reqHist.Snapshot(),
+		queue:     s.queueHist.Snapshot(),
+	}
+}
+
+func (s *simulator) tick() {
+	cur := s.sample()
+	d := s.tuner.Step(serve.TunerInputs{
+		Elapsed:   cur.at - s.prevWin.at,
+		Completed: uint64(cur.completed - s.prevWin.completed),
+		Rejected:  uint64(cur.rejected - s.prevWin.rejected),
+		Shed:      uint64(cur.shed - s.prevWin.shed),
+		Request:   cur.req.Sub(s.prevWin.req),
+		Queue:     cur.queue.Sub(s.prevWin.queue),
+	})
+	s.prevWin = cur
+	s.batchWindow = d.Knobs.BatchWindow
+	s.queueLimit = d.Knobs.QueueLimit
+	s.shedLat = d.Knobs.ShedLatency
+	// Keep ticking while the simulation still has work in flight.
+	if s.events.Len() > 0 {
+		s.push(&simEvent{at: s.now + s.tunerCfg.Interval, kind: evTick})
+	}
+}
+
+func (s *simulator) report() *Report {
+	rep := &Report{
+		Offered:           int64(s.spec.Requests),
+		Admitted:          s.admitted,
+		Completed:         s.completed,
+		RejectedQueueFull: s.rejected,
+		Shed:              s.shed,
+		AbortedSessions:   s.aborted,
+		DurationS:         s.now.Seconds(),
+	}
+	req, queue := s.reqHist.Snapshot(), s.queueHist.Snapshot()
+	completed, span := s.completed, s.now
+	if s.hasWarm {
+		req, queue = req.Sub(s.warm.req), queue.Sub(s.warm.queue)
+		completed -= s.warm.completed
+		span -= s.warm.at
+		rep.WarmupS = s.warm.at.Seconds()
+	}
+	rep.fillLatencyWindow(req, queue, completed, span)
+	if s.tuner != nil {
+		for _, d := range s.tuner.Log() {
+			rep.Decisions = append(rep.Decisions, d.String())
+		}
+		k := s.tuner.Knobs()
+		rep.FinalKnobs = &k
+	}
+	return rep
+}

@@ -1,0 +1,166 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+
+	"octgb/internal/serve"
+)
+
+// lightSpec is well under modeled capacity: 2 workers at ~1.6ms per
+// 150-atom warm eval handle ~1200 qps; we offer 40.
+func lightSpec() *TraceSpec {
+	return &TraceSpec{
+		Name:     "light",
+		Seed:     11,
+		Requests: 200,
+		Arrivals: ArrivalSpec{Process: ProcPoisson, RateHz: 40},
+		Classes:  []ClassSpec{{Kind: KindEnergy, Weight: 1, Atoms: 150, Variants: 2}},
+		Sim:      SimSpec{Workers: 2, Queue: 64, BatchWindowMS: 5},
+	}
+}
+
+// overloadSpec offers ~3× the modeled capacity of 2 workers on 2000-atom
+// evaluations (~17ms warm → ~115 qps capacity; offered 300 qps), so the
+// untuned 64-deep queue runs full and queue wait dominates latency.
+func overloadSpec() *TraceSpec {
+	return &TraceSpec{
+		Name:     "overload",
+		Seed:     42,
+		Requests: 3000,
+		Arrivals: ArrivalSpec{Process: ProcPareto, RateHz: 300, Shape: 1.5},
+		Classes:  []ClassSpec{{Kind: KindEnergy, Weight: 1, Atoms: 2000, Variants: 2}},
+		Sim:      SimSpec{Workers: 2, Queue: 64, BatchWindowMS: 5},
+		SLO:      SLOSpec{P99MS: 150, MinQPS: 80, WarmupS: 3},
+	}
+}
+
+func TestSimulateLightLoad(t *testing.T) {
+	spec := lightSpec()
+	reqs, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Simulate(spec, reqs, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != rep.Offered || rep.RejectedQueueFull != 0 || rep.Shed != 0 {
+		t.Fatalf("light load should all complete: %+v", rep)
+	}
+	// Warm evals are ~1.6ms; even queued behind the two cold builds
+	// (~45ms each) p99 stays far under a second.
+	if rep.P99MS > 1000 {
+		t.Fatalf("light-load p99 %.1fms", rep.P99MS)
+	}
+	if rep.DurationS <= 0 || rep.AdmittedQPS <= 0 {
+		t.Fatalf("degenerate report: %+v", rep)
+	}
+}
+
+// TestSimulateOverloadTunedVsUntuned is the tentpole's core claim in
+// miniature: under sustained overload the untuned tier blows the latency
+// SLO (the full queue is the latency), while the tuner — shrinking the
+// effective queue and arming shed — brings admitted p99 inside the SLO
+// without giving up admitted throughput (both configurations are capacity
+// bound, so completions track worker saturation, not queue depth).
+func TestSimulateOverloadTunedVsUntuned(t *testing.T) {
+	spec := overloadSpec()
+	reqs, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	untuned, err := Simulate(spec, reqs, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuned, err := Simulate(spec, reqs, SimOptions{Tuner: &serve.TunerConfig{
+		SLO:      serve.SLO{P99: time.Duration(spec.SLO.P99MS) * time.Millisecond, MinQPS: spec.SLO.MinQPS},
+		Interval: 250 * time.Millisecond,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if untuned.P99MS <= spec.SLO.P99MS {
+		t.Fatalf("overload too gentle: untuned p99 %.1fms under SLO %.0fms", untuned.P99MS, spec.SLO.P99MS)
+	}
+	if err := tuned.CheckSLO(spec.SLO); err != nil {
+		t.Fatalf("tuned run misses SLO: %v\nlast decisions: %v", err, tail(tuned.Decisions, 5))
+	}
+	if tuned.AdmittedQPS < untuned.AdmittedQPS*0.95 {
+		t.Fatalf("tuning cost throughput: %.1f qps tuned vs %.1f untuned", tuned.AdmittedQPS, untuned.AdmittedQPS)
+	}
+	if len(tuned.Decisions) == 0 || tuned.FinalKnobs == nil {
+		t.Fatal("tuned run recorded no decisions")
+	}
+	if tuned.FinalKnobs.QueueLimit >= 64 && tuned.FinalKnobs.ShedLatency == 0 {
+		t.Fatalf("tuner never tightened: %+v", tuned.FinalKnobs)
+	}
+}
+
+func tail(s []string, n int) []string {
+	if len(s) <= n {
+		return s
+	}
+	return s[len(s)-n:]
+}
+
+// TestSimulateSweepCoalescing: sweeps of one class arriving inside the
+// batch window share a flush — with a window wider than the arrival gaps,
+// the run finishes sooner than with a near-zero window because the shared
+// prepare is paid once per batch instead of once per request.
+func TestSimulateSweepCoalescing(t *testing.T) {
+	spec := &TraceSpec{
+		Name:     "sweeps",
+		Seed:     5,
+		Requests: 400,
+		Arrivals: ArrivalSpec{Process: ProcPoisson, RateHz: 400},
+		Classes:  []ClassSpec{{Kind: KindSweep, Weight: 1, Atoms: 400, Poses: 2}},
+		Sim:      SimSpec{Workers: 2, Queue: 512, BatchWindowMS: 0.001},
+	}
+	reqs, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow, err := Simulate(spec, reqs, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Sim.BatchWindowMS = 25
+	wide, err := Simulate(spec, reqs, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if narrow.Completed != wide.Completed {
+		t.Fatalf("completions differ: %d vs %d", narrow.Completed, wide.Completed)
+	}
+	if wide.DurationS >= narrow.DurationS {
+		t.Fatalf("coalescing did not amortize: wide %.3fs vs narrow %.3fs", wide.DurationS, narrow.DurationS)
+	}
+}
+
+// TestSimulateStreamSessions: under light load every session completes its
+// create plus all frames, each counted as a completed operation.
+func TestSimulateStreamSessions(t *testing.T) {
+	spec := &TraceSpec{
+		Name:     "streams",
+		Seed:     3,
+		Requests: 10,
+		Arrivals: ArrivalSpec{Process: ProcPoisson, RateHz: 2},
+		Classes:  []ClassSpec{{Kind: KindStream, Weight: 1, Atoms: 500, Frames: 6, Movers: 10}},
+		Sim:      SimSpec{Workers: 2, Queue: 64},
+	}
+	reqs, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Simulate(spec, reqs, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(10 * (1 + 6)) // create + 6 frames per session
+	if rep.Completed != want || rep.AbortedSessions != 0 {
+		t.Fatalf("completed %d (want %d), aborted %d", rep.Completed, want, rep.AbortedSessions)
+	}
+}

@@ -1,0 +1,110 @@
+package loadgen
+
+import (
+	"strings"
+	"testing"
+)
+
+func validSpecJSON() string {
+	return `{
+	  "name": "unit",
+	  "seed": 7,
+	  "requests": 100,
+	  "arrivals": {"process": "pareto", "rate_hz": 50, "shape": 1.5},
+	  "classes": [
+	    {"kind": "energy", "weight": 2, "atoms": 150, "variants": 3},
+	    {"kind": "sweep", "weight": 1, "atoms": 100, "poses": 4},
+	    {"kind": "stream", "weight": 1, "atoms": 200, "frames": 5, "movers": 8}
+	  ],
+	  "sim": {"workers": 2, "queue": 32, "batch_window_ms": 5},
+	  "slo": {"p99_ms": 100, "min_qps": 20}
+	}`
+}
+
+func TestParseTraceSpecValid(t *testing.T) {
+	spec, err := ParseTraceSpec([]byte(validSpecJSON()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "unit" || spec.Seed != 7 || len(spec.Classes) != 3 {
+		t.Fatalf("parsed %+v", spec)
+	}
+	if spec.Arrivals.shape() != 1.5 || spec.Arrivals.sigma() != 1.0 {
+		t.Fatalf("defaults: shape %v sigma %v", spec.Arrivals.shape(), spec.Arrivals.sigma())
+	}
+}
+
+func TestParseTraceSpecRejects(t *testing.T) {
+	cases := map[string]string{
+		"negative seed":   `{"name":"x","seed":-1,"requests":10,"arrivals":{"process":"poisson","rate_hz":10},"classes":[{"kind":"energy","weight":1,"atoms":100}]}`,
+		"zero requests":   `{"name":"x","seed":1,"requests":0,"arrivals":{"process":"poisson","rate_hz":10},"classes":[{"kind":"energy","weight":1,"atoms":100}]}`,
+		"too many":        `{"name":"x","seed":1,"requests":99999999,"arrivals":{"process":"poisson","rate_hz":10},"classes":[{"kind":"energy","weight":1,"atoms":100}]}`,
+		"bad process":     `{"name":"x","seed":1,"requests":10,"arrivals":{"process":"uniform","rate_hz":10},"classes":[{"kind":"energy","weight":1,"atoms":100}]}`,
+		"zero rate":       `{"name":"x","seed":1,"requests":10,"arrivals":{"process":"poisson","rate_hz":0},"classes":[{"kind":"energy","weight":1,"atoms":100}]}`,
+		"negative rate":   `{"name":"x","seed":1,"requests":10,"arrivals":{"process":"poisson","rate_hz":-5},"classes":[{"kind":"energy","weight":1,"atoms":100}]}`,
+		"pareto shape<=1": `{"name":"x","seed":1,"requests":10,"arrivals":{"process":"pareto","rate_hz":10,"shape":1},"classes":[{"kind":"energy","weight":1,"atoms":100}]}`,
+		"no classes":      `{"name":"x","seed":1,"requests":10,"arrivals":{"process":"poisson","rate_hz":10},"classes":[]}`,
+		"zero weight":     `{"name":"x","seed":1,"requests":10,"arrivals":{"process":"poisson","rate_hz":10},"classes":[{"kind":"energy","weight":0,"atoms":100}]}`,
+		"negative weight": `{"name":"x","seed":1,"requests":10,"arrivals":{"process":"poisson","rate_hz":10},"classes":[{"kind":"energy","weight":-1,"atoms":100}]}`,
+		"bad kind":        `{"name":"x","seed":1,"requests":10,"arrivals":{"process":"poisson","rate_hz":10},"classes":[{"kind":"warp","weight":1,"atoms":100}]}`,
+		"zero atoms":      `{"name":"x","seed":1,"requests":10,"arrivals":{"process":"poisson","rate_hz":10},"classes":[{"kind":"energy","weight":1,"atoms":0}]}`,
+		"sweep no poses":  `{"name":"x","seed":1,"requests":10,"arrivals":{"process":"poisson","rate_hz":10},"classes":[{"kind":"sweep","weight":1,"atoms":100}]}`,
+		"movers>atoms":    `{"name":"x","seed":1,"requests":10,"arrivals":{"process":"poisson","rate_hz":10},"classes":[{"kind":"stream","weight":1,"atoms":10,"frames":2,"movers":20}]}`,
+		"unknown field":   `{"name":"x","seed":1,"requests":10,"arrivals":{"process":"poisson","rate_hz":10},"classes":[{"kind":"energy","weight":1,"atoms":100}],"typo_knob":true}`,
+		"no name":         `{"seed":1,"requests":10,"arrivals":{"process":"poisson","rate_hz":10},"classes":[{"kind":"energy","weight":1,"atoms":100}]}`,
+		"trailing data":   `{"name":"x","seed":1,"requests":10,"arrivals":{"process":"poisson","rate_hz":10},"classes":[{"kind":"energy","weight":1,"atoms":100}]} {"more":1}`,
+		"not json":        `rate_hz: 10`,
+	}
+	for name, in := range cases {
+		if _, err := ParseTraceSpec([]byte(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestGenerateMixAndOrder(t *testing.T) {
+	spec, err := ParseTraceSpec([]byte(validSpecJSON()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != spec.Requests {
+		t.Fatalf("generated %d, want %d", len(reqs), spec.Requests)
+	}
+	counts := map[string]int{}
+	for i, r := range reqs {
+		if r.ID != i {
+			t.Fatalf("request %d has ID %d", i, r.ID)
+		}
+		if i > 0 && r.At < reqs[i-1].At {
+			t.Fatalf("arrivals not monotone at %d: %v < %v", i, r.At, reqs[i-1].At)
+		}
+		counts[r.Kind]++
+		if r.Kind == KindEnergy && (r.Variant < 0 || r.Variant >= 3) {
+			t.Fatalf("variant %d outside class range", r.Variant)
+		}
+	}
+	// Weights 2:1:1 over 100 draws: energy should clearly dominate, and
+	// every class should appear.
+	if counts[KindEnergy] <= counts[KindSweep] || counts[KindSweep] == 0 || counts[KindStream] == 0 {
+		t.Fatalf("mix off: %v", counts)
+	}
+}
+
+func TestSerializeShape(t *testing.T) {
+	spec, _ := ParseTraceSpec([]byte(validSpecJSON()))
+	reqs, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(Serialize(reqs)), "\n"), "\n")
+	if len(lines) != len(reqs) {
+		t.Fatalf("%d lines for %d requests", len(lines), len(reqs))
+	}
+	if !strings.Contains(lines[0], "kind=") || !strings.Contains(lines[0], "at=") {
+		t.Fatalf("unexpected line shape: %q", lines[0])
+	}
+}

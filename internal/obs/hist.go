@@ -34,18 +34,22 @@ func bucketIndex(ns int64) int {
 }
 
 // Histogram is a lock-free fixed-bucket latency histogram: Observe is a
-// bucket lookup (one Len64) plus three atomic adds, with no locks and no
+// bucket lookup (one Len64) plus two atomic adds, with no locks and no
 // allocation, so it can sit on paths that run thousands of times per
 // second. The bucket layout is fixed at compile time (see bucketBound), so
 // two histograms are always mergeable and the Prometheus rendering needs
 // no per-instance boundary bookkeeping.
+//
+// The total observation count is not stored separately: Snapshot derives
+// it from the buckets, so a snapshot's Count always equals the sum of its
+// Buckets even when it is cut mid-storm under concurrent writers (pinned
+// by TestHistogramSnapshotConsistencyUnderStorm).
 //
 // A nil *Histogram is valid: Observe and ObserveSince are no-ops, which is
 // what makes instrumented call sites unconditional.
 type Histogram struct {
 	name, labels, help string
 
-	count   atomic.Uint64
 	sumNS   atomic.Int64
 	buckets [numFiniteBuckets + 1]atomic.Uint64 // per-bucket (not cumulative); last is +Inf
 }
@@ -56,7 +60,6 @@ func (h *Histogram) Observe(d time.Duration) {
 		return
 	}
 	h.buckets[bucketIndex(d.Nanoseconds())].Add(1)
-	h.count.Add(1)
 	h.sumNS.Add(d.Nanoseconds())
 }
 
@@ -69,11 +72,14 @@ func (h *Histogram) ObserveSince(start time.Time) {
 }
 
 // HistSnapshot is a point-in-time copy of a histogram. Under concurrent
-// Observe the copy is not a single atomic cut — counts may be off by the
-// handful of observations in flight — which is the standard (and accepted)
-// behavior of scrape-based metrics.
+// Observe the copy is not a single atomic cut — it may miss the handful of
+// observations in flight — but it is always internally consistent: Count
+// equals the sum of Buckets (Snapshot derives it), so the cumulative le
+// series renders monotone and quantile ranks never point past the buckets.
+// Only Sum can be off by in-flight observations, which is the standard
+// (and accepted) behavior of scrape-based metrics.
 type HistSnapshot struct {
-	// Count is the total number of observations.
+	// Count is the total number of observations (always == sum of Buckets).
 	Count uint64
 	// Sum is the sum of all observed durations.
 	Sum time.Duration
@@ -88,12 +94,49 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	if h == nil {
 		return s
 	}
-	s.Count = h.count.Load()
 	s.Sum = time.Duration(h.sumNS.Load())
 	for i := range h.buckets {
-		s.Buckets[i] = h.buckets[i].Load()
+		b := h.buckets[i].Load()
+		s.Buckets[i] = b
+		s.Count += b
 	}
 	return s
+}
+
+// Sub returns the observations recorded between prev and s — the window
+// diff a control loop feeds on (serve's auto-tuner samples its latency
+// histograms every interval and tunes on the delta, not the lifetime
+// distribution). Both snapshots must come from the same histogram with
+// prev taken first; buckets subtract saturating at zero so a racy pair
+// still yields a well-formed (if slightly off) window. Count is re-derived
+// from the subtracted buckets, preserving the Count == sum-of-Buckets
+// invariant.
+func (s HistSnapshot) Sub(prev HistSnapshot) HistSnapshot {
+	var out HistSnapshot
+	for i := range s.Buckets {
+		if s.Buckets[i] > prev.Buckets[i] {
+			out.Buckets[i] = s.Buckets[i] - prev.Buckets[i]
+		}
+		out.Count += out.Buckets[i]
+	}
+	if s.Sum > prev.Sum {
+		out.Sum = s.Sum - prev.Sum
+	}
+	return out
+}
+
+// Add merges two snapshots bucket-wise — valid for any pair because the
+// bucket layout is fixed at compile time. Used to pool per-endpoint
+// latency series into one distribution (e.g. the tuner's view of all
+// admitted requests).
+func (s HistSnapshot) Add(o HistSnapshot) HistSnapshot {
+	var out HistSnapshot
+	for i := range s.Buckets {
+		out.Buckets[i] = s.Buckets[i] + o.Buckets[i]
+		out.Count += out.Buckets[i]
+	}
+	out.Sum = s.Sum + o.Sum
+	return out
 }
 
 // Quantile returns an upper bound for the q-quantile (0 < q ≤ 1) of the

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestHistogramSnapshotConsistencyUnderStorm pins the snapshot contract the
+// serve auto-tuner depends on: a snapshot cut while writers are mid-storm
+// must be internally consistent — Count equals the sum of the buckets, the
+// cumulative le series is monotone, and quantiles are monotone in q and
+// never exceed the largest finite bound. Before Snapshot derived Count from
+// the buckets this only held on quiet histograms; run with -race.
+func TestHistogramSnapshotConsistencyUnderStorm(t *testing.T) {
+	h := &Histogram{}
+	const writers = 8
+	var stop atomic.Bool
+	var wrote atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for !stop.Load() {
+				// Spread observations across the full finite range plus +Inf.
+				ns := int64(1) << uint(rng.Intn(numFiniteBuckets+14))
+				h.Observe(time.Duration(ns))
+				wrote.Add(1)
+			}
+		}(int64(w + 1))
+	}
+
+	deadline := time.Now().Add(300 * time.Millisecond)
+	snaps := 0
+	for time.Now().Before(deadline) {
+		s := h.Snapshot()
+		snaps++
+		var sum uint64
+		for _, b := range s.Buckets {
+			sum += b
+		}
+		if s.Count != sum {
+			t.Fatalf("snapshot %d: Count %d != bucket sum %d", snaps, s.Count, sum)
+		}
+		// Quantiles must be monotone in q and bounded by the finite range.
+		prev := time.Duration(0)
+		for _, q := range []float64{0.01, 0.25, 0.50, 0.90, 0.95, 0.99, 1.0} {
+			v := s.Quantile(q)
+			if v < prev {
+				t.Fatalf("snapshot %d: Quantile(%g)=%v < previous %v", snaps, q, v, prev)
+			}
+			if v > time.Duration(bucketBound(numFiniteBuckets-1)) {
+				t.Fatalf("snapshot %d: Quantile(%g)=%v beyond the finite range", snaps, q, v)
+			}
+			prev = v
+		}
+		if s.Count > 0 && s.Quantile(0.5) == 0 {
+			t.Fatalf("snapshot %d: count %d but p50 = 0", snaps, s.Count)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	// Quiesced, the snapshot must account for every observation exactly.
+	final := h.Snapshot()
+	if final.Count != wrote.Load() {
+		t.Fatalf("final count %d != observations written %d", final.Count, wrote.Load())
+	}
+	t.Logf("validated %d mid-storm snapshots over %d observations", snaps, final.Count)
+}
+
+// TestHistogramExpositionUnderStorm renders a registry mid-storm through
+// the library's own exposition validator: the cumulative buckets, _sum and
+// _count lines of a histogram being written concurrently must still form a
+// well-formed scrape (the le series monotone because Snapshot is
+// internally consistent).
+func TestHistogramExpositionUnderStorm(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("octgb_test_storm_seconds", `src="storm"`, "storm test")
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for !stop.Load() {
+				h.Observe(time.Duration(rng.Int63n(int64(10 * time.Second))))
+			}
+		}(int64(w + 100))
+	}
+	for i := 0; i < 50; i++ {
+		var buf bytes.Buffer
+		if err := reg.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := ValidateExposition(&buf); err != nil {
+			t.Fatalf("render %d: %v", i, err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+}
+
+// TestHistSnapshotSubAdd pins the window-diff algebra: Sub of two ordered
+// snapshots is exactly the observations in between, Add merges bucket-wise,
+// and both preserve the Count == sum-of-Buckets invariant.
+func TestHistSnapshotSubAdd(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(2 * time.Microsecond)
+	h.Observe(3 * time.Millisecond)
+	before := h.Snapshot()
+	h.Observe(5 * time.Millisecond)
+	h.Observe(7 * time.Second)
+	h.Observe(3 * time.Microsecond)
+	after := h.Snapshot()
+
+	win := after.Sub(before)
+	if win.Count != 3 {
+		t.Fatalf("window count = %d, want 3", win.Count)
+	}
+	if want := 5*time.Millisecond + 7*time.Second + 3*time.Microsecond; win.Sum != want {
+		t.Fatalf("window sum = %v, want %v", win.Sum, want)
+	}
+	var sum uint64
+	for _, b := range win.Buckets {
+		sum += b
+	}
+	if win.Count != sum {
+		t.Fatalf("window count %d != bucket sum %d", win.Count, sum)
+	}
+
+	// Sub saturates instead of wrapping when handed out-of-order snapshots.
+	rev := before.Sub(after)
+	if rev.Count != 0 || rev.Sum != 0 {
+		t.Fatalf("reversed Sub = %+v, want zero", rev)
+	}
+
+	merged := before.Sub(HistSnapshot{}).Add(win)
+	if merged.Count != after.Count || merged.Sum != after.Sum {
+		t.Fatalf("before+window = count %d sum %v, want count %d sum %v",
+			merged.Count, merged.Sum, after.Count, after.Sum)
+	}
+
+	var g *Histogram
+	if s := g.Snapshot(); s.Count != 0 {
+		t.Fatalf("nil histogram snapshot count = %d", s.Count)
+	}
+}

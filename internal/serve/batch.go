@@ -83,7 +83,10 @@ func (s *Server) enqueueSweep(rec, lig *molecule.Molecule, o evalOpts, exact boo
 	if !ok {
 		b = &pendingSweep{key: key, rec: rec, lig: lig, opts: o, exact: exact}
 		s.pending[key] = b
-		b.timer = time.AfterFunc(s.cfg.BatchWindow, func() { s.flushSweep(key) })
+		// The window is the tuner's knob, sampled when the batch opens:
+		// wider windows coalesce more under load, narrower ones cap the
+		// latency a lone sweep pays waiting for company.
+		b.timer = time.AfterFunc(s.batchWindow(), func() { s.flushSweep(key) })
 	}
 	b.waiters = append(b.waiters, wt)
 	s.pendingMu.Unlock()

@@ -241,8 +241,8 @@ type StreamCloseResponse struct {
 }
 
 // ErrorResponse is every non-2xx payload. Error is a stable machine token:
-// bad_request, too_large, queue_full, draining, deadline_exceeded,
-// eval_failed, method_not_allowed, not_found.
+// bad_request, too_large, queue_full, shed_load, draining,
+// deadline_exceeded, eval_failed, method_not_allowed, not_found.
 type ErrorResponse struct {
 	RequestID    string `json:"request_id"`
 	Error        string `json:"error"`
@@ -408,14 +408,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Admission: a sweep occupies a queue slot once its batch flushes;
-	// reject up front when the queue is already saturated.
-	if s.draining.Load() {
-		s.admissionError(w, reqID, errDraining)
-		return
-	}
-	if len(s.queue) >= cap(s.queue) {
-		s.metrics.rejectedQueueFull.Add(1)
-		s.admissionError(w, reqID, errQueueFull)
+	// apply the same gate (drain, tuned queue limit, shed threshold) up
+	// front instead of after the window has been spent coalescing.
+	if err := s.admissionCheck(); err != nil {
+		s.admissionError(w, reqID, err)
 		return
 	}
 	opts := s.resolveOpts(req.Options)
@@ -478,6 +474,9 @@ func (s *Server) admissionError(w http.ResponseWriter, reqID string, err error) 
 	case errQueueFull:
 		writeError(w, http.StatusTooManyRequests, reqID, "queue_full",
 			"submission queue is full", s.retryAfterHint())
+	case errShedLoad:
+		writeError(w, http.StatusTooManyRequests, reqID, "shed_load",
+			"estimated queue wait exceeds the shed threshold", s.retryAfterHint())
 	case errDraining:
 		writeError(w, http.StatusServiceUnavailable, reqID, "draining",
 			"server is shutting down", 0)

@@ -136,6 +136,14 @@ type Config struct {
 	// the serve, engine and scheduler layers together. Nil (the default)
 	// disables all of it at zero cost.
 	Observe *obs.Observer
+	// Tuner enables the closed-loop admission tuner: every Interval the
+	// server diffs its own latency histograms and adjusts the batch
+	// window, effective queue depth and shed-load threshold against the
+	// configured SLO (see TunerConfig). Requires observability — a nil
+	// Observe is promoted to a fresh obs.New() when a tuner is configured,
+	// because the control loop feeds on the histograms. Nil (the default)
+	// leaves all knobs at their configured values.
+	Tuner *TunerConfig
 }
 
 // DefaultAddr is the default listen address.
@@ -187,6 +195,11 @@ func (c Config) withDefaults() Config {
 	c.ReadHeaderTimeout = resolveTimeout(c.ReadHeaderTimeout, 10*time.Second)
 	c.ReadTimeout = resolveTimeout(c.ReadTimeout, 5*time.Minute)
 	c.IdleTimeout = resolveTimeout(c.IdleTimeout, 2*time.Minute)
+	if c.Tuner != nil && c.Tuner.SLO.P99 > 0 && c.Observe == nil {
+		// The tuner reads the latency histograms; without an observer there
+		// is nothing to close the loop on.
+		c.Observe = obs.New()
+	}
 	return c
 }
 
@@ -226,6 +239,16 @@ type Server struct {
 	sessions map[string]*streamSession
 	sessSeq  atomic.Int64
 
+	// Tunable admission knobs, owned by the tuner loop (or pinned at the
+	// configured defaults when no tuner runs). Read lock-free on every
+	// admission decision and batch open.
+	batchWindowNS atomic.Int64
+	queueLimit    atomic.Int64
+	shedLatNS     atomic.Int64
+
+	tunerMu sync.Mutex
+	tuner   *Tuner
+
 	nonce  string
 	reqSeq atomic.Int64
 
@@ -239,15 +262,17 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		metrics: newMetrics(),
-		queue:   make(chan func(), cfg.MaxQueue),
+		cfg:      cfg,
+		metrics:  newMetrics(),
+		queue:    make(chan func(), cfg.MaxQueue),
 		stopCh:   make(chan struct{}),
 		pending:  make(map[string]*pendingSweep),
 		sessions: make(map[string]*streamSession),
 	}
 	s.cache = newPrepCache(cfg.MaxCacheBytes, s.metrics)
 	s.sobs = newServeObs(cfg.Observe)
+	s.batchWindowNS.Store(int64(cfg.BatchWindow))
+	s.queueLimit.Store(int64(cfg.MaxQueue))
 	var nb [4]byte
 	_, _ = rand.Read(nb[:])
 	s.nonce = hex.EncodeToString(nb[:])
@@ -266,6 +291,15 @@ func New(cfg Config) *Server {
 	for w := 0; w < cfg.Workers; w++ {
 		s.workers.Add(1)
 		go s.worker()
+	}
+	if cfg.Tuner != nil && cfg.Tuner.SLO.P99 > 0 {
+		tc := cfg.Tuner.withDefaults(cfg.Workers, cfg.MaxQueue, cfg.BatchWindow)
+		s.tuner = NewTuner(tc, Knobs{
+			BatchWindow: cfg.BatchWindow,
+			QueueLimit:  cfg.MaxQueue,
+		})
+		s.workers.Add(1)
+		go s.tunerLoop(tc)
 	}
 	return s
 }
@@ -398,18 +432,47 @@ func (s *Server) worker() {
 	}
 }
 
-// errQueueFull and errDraining are the typed admission failures.
+// errQueueFull, errDraining and errShedLoad are the typed admission
+// failures.
 var (
 	errQueueFull = fmt.Errorf("serve: queue full")
 	errDraining  = fmt.Errorf("serve: draining")
+	errShedLoad  = fmt.Errorf("serve: load shed")
 )
 
-// submit enqueues an evaluation without blocking; admission control lives
-// here. The returned error is errQueueFull or errDraining.
-func (s *Server) submit(f func()) error {
+// admissionCheck is the shared admission gate: draining reject, effective
+// queue-depth limit (the tuner's knob — it can sit below the channel's
+// physical capacity), and the shed-load threshold (reject arrivals whose
+// estimated queue wait would already blow the latency budget, instead of
+// parking them to time out and drag everything behind them down). Counts
+// the matching rejection metric; the caller maps the error onto HTTP.
+func (s *Server) admissionCheck() error {
 	if s.draining.Load() {
 		s.metrics.rejectedDraining.Add(1)
 		return errDraining
+	}
+	depth := len(s.queue)
+	if depth >= int(s.queueLimit.Load()) {
+		s.metrics.rejectedQueueFull.Add(1)
+		return errQueueFull
+	}
+	if shed := s.shedLatNS.Load(); shed > 0 && depth >= s.cfg.Workers {
+		if n := s.metrics.evals.Load(); n > 0 {
+			est := int64(depth/s.cfg.Workers) * (s.metrics.evalNS.Load() / n)
+			if est > shed {
+				s.metrics.shedLoad.Add(1)
+				return errShedLoad
+			}
+		}
+	}
+	return nil
+}
+
+// submit enqueues an evaluation without blocking; admission control lives
+// here. The returned error is errQueueFull, errShedLoad or errDraining.
+func (s *Server) submit(f func()) error {
+	if err := s.admissionCheck(); err != nil {
+		return err
 	}
 	select {
 	case s.queue <- f:
@@ -417,6 +480,100 @@ func (s *Server) submit(f func()) error {
 	default:
 		s.metrics.rejectedQueueFull.Add(1)
 		return errQueueFull
+	}
+}
+
+// batchWindow returns the current (possibly tuned) sweep coalescing
+// window.
+func (s *Server) batchWindow() time.Duration {
+	return time.Duration(s.batchWindowNS.Load())
+}
+
+// tunerWindow is one control-loop sample: cumulative counters plus
+// histogram snapshots, diffed against the previous sample to produce the
+// window the tuner decides on.
+type tunerWindow struct {
+	at                        time.Time
+	completed, rejected, shed int64
+	req, queue                obs.HistSnapshot
+}
+
+func (s *Server) tunerSample() tunerWindow {
+	return tunerWindow{
+		at:        time.Now(),
+		completed: s.metrics.completed.Load(),
+		rejected:  s.metrics.rejectedQueueFull.Load(),
+		shed:      s.metrics.shedLoad.Load(),
+		req: s.sobs.reqEnergy.Snapshot().
+			Add(s.sobs.reqSweep.Snapshot()).
+			Add(s.sobs.reqStream.Snapshot()),
+		queue: s.sobs.queueWait.Snapshot(),
+	}
+}
+
+// diff converts two samples into the tuner's window observations.
+func (w tunerWindow) diff(prev tunerWindow) TunerInputs {
+	return TunerInputs{
+		Elapsed:   w.at.Sub(prev.at),
+		Completed: uint64(w.completed - prev.completed),
+		Rejected:  uint64(w.rejected - prev.rejected),
+		Shed:      uint64(w.shed - prev.shed),
+		Request:   w.req.Sub(prev.req),
+		Queue:     w.queue.Sub(prev.queue),
+	}
+}
+
+// tunerLoop is the control loop: every Interval it feeds the window diff
+// to the tuner and publishes the resulting knobs to the admission atomics.
+// Exits when the server stops.
+func (s *Server) tunerLoop(tc TunerConfig) {
+	defer s.workers.Done()
+	tick := time.NewTicker(tc.Interval)
+	defer tick.Stop()
+	prev := s.tunerSample()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-tick.C:
+			cur := s.tunerSample()
+			in := cur.diff(prev)
+			prev = cur
+			s.tunerMu.Lock()
+			d := s.tuner.Step(in)
+			s.tunerMu.Unlock()
+			s.applyKnobs(d.Knobs)
+			if d.Action != "hold" && d.Action != "idle" {
+				s.logf("serve: tuner %s", d)
+			}
+		}
+	}
+}
+
+// applyKnobs publishes tuner decisions to the lock-free admission path.
+func (s *Server) applyKnobs(k Knobs) {
+	s.batchWindowNS.Store(int64(k.BatchWindow))
+	s.queueLimit.Store(int64(k.QueueLimit))
+	s.shedLatNS.Store(int64(k.ShedLatency))
+}
+
+// TunerDecisions returns a copy of the tuner's decision log (nil when no
+// tuner is configured) — the hook the load harness and /stats use.
+func (s *Server) TunerDecisions() []Decision {
+	if s.tuner == nil {
+		return nil
+	}
+	s.tunerMu.Lock()
+	defer s.tunerMu.Unlock()
+	return append([]Decision(nil), s.tuner.Log()...)
+}
+
+// CurrentKnobs returns the admission knobs currently in force.
+func (s *Server) CurrentKnobs() Knobs {
+	return Knobs{
+		BatchWindow: time.Duration(s.batchWindowNS.Load()),
+		QueueLimit:  int(s.queueLimit.Load()),
+		ShedLatency: time.Duration(s.shedLatNS.Load()),
 	}
 }
 

@@ -19,6 +19,7 @@ type metrics struct {
 
 	rejectedQueueFull atomic.Int64
 	rejectedDraining  atomic.Int64
+	shedLoad          atomic.Int64 // rejected by the shed-latency threshold
 	deadlineMisses    atomic.Int64
 	canceled          atomic.Int64 // queued work abandoned before running
 
@@ -69,10 +70,12 @@ type StatsSnapshot struct {
 	Admission struct {
 		QueueDepth        int   `json:"queue_depth"`
 		QueueCapacity     int   `json:"queue_capacity"`
+		QueueLimit        int   `json:"queue_limit"`
 		Inflight          int64 `json:"inflight"`
 		Workers           int   `json:"workers"`
 		RejectedQueueFull int64 `json:"rejected_queue_full"`
 		RejectedDraining  int64 `json:"rejected_draining"`
+		ShedLoad          int64 `json:"shed_load"`
 		DeadlineMisses    int64 `json:"deadline_misses"`
 		Canceled          int64 `json:"canceled"`
 	} `json:"admission"`
@@ -128,6 +131,18 @@ type StatsSnapshot struct {
 	// request-latency quantiles of each endpoint, derived from the same
 	// histograms /metrics exports.
 	Latency *LatencySnapshot `json:"latency,omitempty"`
+
+	// Tuner is present only when the closed-loop admission tuner runs: the
+	// knobs currently in force, the SLO it targets, and its decision tally.
+	Tuner *TunerSnapshot `json:"tuner,omitempty"`
+}
+
+// TunerSnapshot is the /stats view of the admission control loop.
+type TunerSnapshot struct {
+	SLO          SLO    `json:"slo"`
+	Knobs        Knobs  `json:"knobs"`
+	Decisions    int    `json:"decisions"`
+	LastDecision string `json:"last_decision,omitempty"`
 }
 
 // LatencySnapshot is the /stats request-latency block (observer-enabled
@@ -169,10 +184,12 @@ func (s *Server) snapshot() StatsSnapshot {
 
 	out.Admission.QueueDepth = len(s.queue)
 	out.Admission.QueueCapacity = cap(s.queue)
+	out.Admission.QueueLimit = int(s.queueLimit.Load())
 	out.Admission.Inflight = m.inflight.Load()
 	out.Admission.Workers = s.cfg.Workers
 	out.Admission.RejectedQueueFull = m.rejectedQueueFull.Load()
 	out.Admission.RejectedDraining = m.rejectedDraining.Load()
+	out.Admission.ShedLoad = m.shedLoad.Load()
 	out.Admission.DeadlineMisses = m.deadlineMisses.Load()
 	out.Admission.Canceled = m.canceled.Load()
 
@@ -217,6 +234,19 @@ func (s *Server) snapshot() StatsSnapshot {
 			Energy: endpointLatency(s.sobs.reqEnergy),
 			Sweep:  endpointLatency(s.sobs.reqSweep),
 		}
+	}
+	if s.tuner != nil {
+		s.tunerMu.Lock()
+		ts := &TunerSnapshot{
+			SLO:       s.tuner.cfg.SLO,
+			Decisions: len(s.tuner.log),
+		}
+		if n := len(s.tuner.log); n > 0 {
+			ts.LastDecision = s.tuner.log[n-1].String()
+		}
+		s.tunerMu.Unlock()
+		ts.Knobs = s.CurrentKnobs()
+		out.Tuner = ts
 	}
 	return out
 }

@@ -1,0 +1,280 @@
+package serve
+
+import (
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"octgb/internal/molecule"
+	"octgb/internal/testutil"
+)
+
+// The tests in this file are the stream-session lifecycle race matrix:
+// store eviction (LRU and idle) and close racing in-flight frame
+// evaluation. They are written to run under -race (the `make race` list
+// includes this package) and assert the lifecycle contract directly: a
+// frame that passed lookup completes against its session pointer even if
+// the store drops the session mid-evaluation, and every post-removal
+// request observes a clean 404 — never a torn session.
+
+// grabSession fetches the live session pointer for white-box
+// orchestration (holding its mutex stalls that session's next frame at
+// the top of its worker closure).
+func grabSession(t *testing.T, s *Server, id string) *streamSession {
+	t.Helper()
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	st := s.sessions[id]
+	if st == nil {
+		t.Fatalf("session %s not in store", id)
+	}
+	return st
+}
+
+// waitFrameDispatched waits until the submission queue is empty and n
+// frame requests have entered their handler — at that point every fired
+// frame has finished its session lookup (lookup precedes submit) and its
+// closure has been handed to a worker.
+func waitFrameDispatched(t *testing.T, s *Server, frames int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for s.metrics.streamFrames.Load() < frames || len(s.queue) > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("frame never dispatched: frames=%d queue=%d",
+				s.metrics.streamFrames.Load(), len(s.queue))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestStreamRaceLRUEvictionVsInflightFrame: a frame is mid-evaluation on
+// a worker when a create pushes the session out of the store (LRU,
+// MaxSessions 1). The in-flight frame owns the session pointer, so it
+// completes with 200; the next frame on the evicted id sees 404.
+func TestStreamRaceLRUEvictionVsInflightFrame(t *testing.T) {
+	defer testutil.Watchdog(t, 2*time.Minute)()
+	s, ts := newTestServer(t, Config{Workers: 2, Threads: 1, MaxSessions: 1})
+
+	mol := molecule.GenerateProtein("lru-race", 120, 21)
+	var a StreamCreateResponse
+	if code := postJSON(t, ts.URL+"/v1/stream", StreamCreateRequest{Molecule: FromMolecule(mol)}, &a); code != http.StatusOK {
+		t.Fatalf("create A status %d", code)
+	}
+	wire, _ := jitterMoves(mol, 1, 3, 0.05, 7)
+	frameURL := ts.URL + "/v1/stream/" + a.SessionID + "/frame"
+
+	// Hold A's evaluation lock so the frame's worker closure parks after
+	// lookup, leaving the race window open for as long as we need it.
+	stA := grabSession(t, s, a.SessionID)
+	stA.mu.Lock()
+	frameDone := make(chan int, 1)
+	var frameResp StreamFrameResponse
+	go func() {
+		frameDone <- postJSON(t, frameURL, StreamFrameRequest{Moves: wire[0]}, &frameResp)
+	}()
+	waitFrameDispatched(t, s, 1)
+
+	// The create needs room in the size-1 store: it must evict A even
+	// though A's frame is still on a worker.
+	var b StreamCreateResponse
+	if code := postJSON(t, ts.URL+"/v1/stream", StreamCreateRequest{Molecule: FromMolecule(mol)}, &b); code != http.StatusOK {
+		t.Fatalf("create B status %d", code)
+	}
+	if st := s.snapshot(); st.Streaming.EvictedLRU != 1 || st.Streaming.Live != 1 {
+		t.Fatalf("after eviction: %+v", st.Streaming)
+	}
+
+	// Release the in-flight frame: it must complete normally against the
+	// evicted-but-referenced session.
+	stA.mu.Unlock()
+	if code := <-frameDone; code != http.StatusOK {
+		t.Fatalf("in-flight frame on evicted session: status %d", code)
+	}
+	if frameResp.Frame != 1 || frameResp.Energy == 0 {
+		t.Fatalf("in-flight frame report %+v", frameResp)
+	}
+
+	// The store no longer knows A: the next frame is a clean 404, and the
+	// survivor B still serves frames.
+	var gone ErrorResponse
+	if code := postJSON(t, frameURL, StreamFrameRequest{Moves: wire[0]}, &gone); code != http.StatusNotFound || gone.Error != "not_found" {
+		t.Fatalf("post-eviction frame: status %d token %q", code, gone.Error)
+	}
+	if code := postJSON(t, ts.URL+"/v1/stream/"+b.SessionID+"/frame", StreamFrameRequest{Moves: wire[0]}, nil); code != http.StatusOK {
+		t.Fatalf("survivor frame status %d", code)
+	}
+}
+
+// TestStreamRaceCloseDuringFrame: DELETE races a frame that is already on
+// a worker. The close wins the store map immediately; the frame still
+// completes 200 through its own pointer, and everything after the close
+// observes 404.
+func TestStreamRaceCloseDuringFrame(t *testing.T) {
+	defer testutil.Watchdog(t, 2*time.Minute)()
+	s, ts := newTestServer(t, Config{Workers: 2, Threads: 1})
+
+	mol := molecule.GenerateProtein("close-race", 120, 22)
+	var created StreamCreateResponse
+	if code := postJSON(t, ts.URL+"/v1/stream", StreamCreateRequest{Molecule: FromMolecule(mol)}, &created); code != http.StatusOK {
+		t.Fatalf("create status %d", code)
+	}
+	wire, _ := jitterMoves(mol, 1, 3, 0.05, 9)
+	frameURL := ts.URL + "/v1/stream/" + created.SessionID + "/frame"
+
+	st := grabSession(t, s, created.SessionID)
+	st.mu.Lock()
+	frameDone := make(chan int, 1)
+	go func() {
+		frameDone <- postJSON(t, frameURL, StreamFrameRequest{Moves: wire[0]}, nil)
+	}()
+	waitFrameDispatched(t, s, 1)
+
+	// Close while the frame is parked on the session lock. The handler
+	// removes the session from the store first, then waits for the lock to
+	// read the final frame count — so it blocks until we release, which is
+	// exactly the concurrency this test exists to exercise.
+	closeDone := make(chan int, 1)
+	var closed StreamCloseResponse
+	go func() {
+		closeDone <- doJSON(t, http.MethodDelete, ts.URL+"/v1/stream/"+created.SessionID, nil, &closed)
+	}()
+	// The close wins the map race even while the frame holds the session:
+	// once the id is gone from the store, new frames 404 regardless of the
+	// in-flight one.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		s.sessMu.Lock()
+		_, live := s.sessions[created.SessionID]
+		s.sessMu.Unlock()
+		if !live {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("close never removed the session from the store")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st.mu.Unlock()
+
+	if code := <-frameDone; code != http.StatusOK {
+		t.Fatalf("in-flight frame during close: status %d", code)
+	}
+	if code := <-closeDone; code != http.StatusOK {
+		t.Fatalf("close status %d", code)
+	}
+	var gone ErrorResponse
+	if code := postJSON(t, frameURL, StreamFrameRequest{Moves: wire[0]}, &gone); code != http.StatusNotFound {
+		t.Fatalf("frame after close: status %d", code)
+	}
+	if st := s.snapshot(); st.Streaming.Live != 0 || st.Streaming.Closed != 1 {
+		t.Fatalf("post-close stats %+v", st.Streaming)
+	}
+}
+
+// TestStreamRaceIdleEvictionVsChurn runs create/frame/close churn across
+// goroutines while another goroutine repeatedly ages every live session
+// past the idle threshold. Any individual frame or close may land 200
+// (it won) or 404 (the sweeper won) — anything else is a bug — and the
+// lifecycle counters must balance exactly at the end.
+func TestStreamRaceIdleEvictionVsChurn(t *testing.T) {
+	defer testutil.Watchdog(t, 2*time.Minute)()
+	s, ts := newTestServer(t, Config{
+		Workers: 2, Threads: 1, MaxSessions: 4, MaxQueue: 256,
+		SessionIdle: 50 * time.Millisecond,
+	})
+
+	mol := molecule.GenerateProtein("churn", 60, 23)
+	molJSON := FromMolecule(mol)
+	wire, _ := jitterMoves(mol, 1, 2, 0.05, 13)
+
+	stop := make(chan struct{})
+	var sweeps sync.WaitGroup
+	sweeps.Add(1)
+	go func() {
+		defer sweeps.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Age everything past SessionIdle; the next store access (any
+			// lookup or create) sweeps the aged sessions out.
+			s.sessMu.Lock()
+			for _, live := range s.sessions {
+				live.lastUsed = time.Now().Add(-time.Minute)
+			}
+			s.sessMu.Unlock()
+			// Slow enough that plenty of frames win the race too — the
+			// interesting regime is the mix, not a sweeper that always wins.
+			time.Sleep(15 * time.Millisecond)
+		}
+	}()
+
+	const clients, rounds, framesPerSession = 4, 6, 3
+	var createdOK, frameOK, frameGone, closeOK, closeGone atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				var created StreamCreateResponse
+				if code := postJSON(t, ts.URL+"/v1/stream", StreamCreateRequest{Molecule: molJSON}, &created); code != http.StatusOK {
+					t.Errorf("churn create: status %d", code)
+					return
+				}
+				createdOK.Add(1)
+				for f := 0; f < framesPerSession; f++ {
+					switch code := postJSON(t, ts.URL+"/v1/stream/"+created.SessionID+"/frame", StreamFrameRequest{Moves: wire[0]}, nil); code {
+					case http.StatusOK:
+						frameOK.Add(1)
+					case http.StatusNotFound:
+						frameGone.Add(1)
+					default:
+						t.Errorf("churn frame: status %d", code)
+						return
+					}
+				}
+				switch code := doJSON(t, http.MethodDelete, ts.URL+"/v1/stream/"+created.SessionID, nil, nil); code {
+				case http.StatusOK:
+					closeOK.Add(1)
+				case http.StatusNotFound:
+					closeGone.Add(1)
+				default:
+					t.Errorf("churn close: status %d", code)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	sweeps.Wait()
+
+	st := s.snapshot()
+	// Every session a client successfully created left the store exactly
+	// one way: explicit close, LRU eviction, idle eviction, or it is still
+	// live. The books must balance — a leak or a double-removal breaks it.
+	total := st.Streaming.Closed + st.Streaming.EvictedLRU + st.Streaming.EvictedIdle + int64(st.Streaming.Live)
+	if total != createdOK.Load() || st.Streaming.Created != createdOK.Load() {
+		t.Fatalf("lifecycle books do not balance: created=%d closed=%d lru=%d idle=%d live=%d",
+			st.Streaming.Created, st.Streaming.Closed, st.Streaming.EvictedLRU,
+			st.Streaming.EvictedIdle, st.Streaming.Live)
+	}
+	if got := frameOK.Load() + frameGone.Load(); got != clients*rounds*framesPerSession {
+		t.Fatalf("frame outcomes %d (ok %d, gone %d) != attempts %d",
+			got, frameOK.Load(), frameGone.Load(), clients*rounds*framesPerSession)
+	}
+	if got := closeOK.Load() + closeGone.Load(); got != clients*rounds {
+		t.Fatalf("close outcomes %d != attempts %d", got, clients*rounds)
+	}
+	if st.Streaming.EvictedIdle == 0 {
+		t.Fatal("aging sweeper never evicted anything — the race never happened")
+	}
+	t.Logf("churn: created=%d frames ok=%d gone=%d closes ok=%d gone=%d evicted idle=%d lru=%d",
+		createdOK.Load(), frameOK.Load(), frameGone.Load(), closeOK.Load(), closeGone.Load(),
+		st.Streaming.EvictedIdle, st.Streaming.EvictedLRU)
+}
