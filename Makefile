@@ -1,17 +1,18 @@
 GO ?= go
 
-.PHONY: verify build vet staticcheck test race fuzz chaos obs-smoke load-check load-bench load-live bench bench-kernels bench-kernels-check bench-comm serve-bench bench-stream bench-stream-check
+.PHONY: verify build vet staticcheck test race fuzz chaos fabric-chaos obs-smoke load-check load-bench load-live bench bench-kernels bench-kernels-check bench-comm serve-bench bench-stream bench-stream-check
 
 ## verify: the tier-1 gate — build, vet (+staticcheck when installed), full
 ## tests, race-test the concurrency-bearing packages (scheduler, treecode
 ## kernels, cluster transports, distributed engines, chaos harness,
-## observability, serving, load harness), smoke the /metrics exposition,
-## then replay the committed load trace through the virtual-time simulator
-## and gate on its SLO. load-check joins verify (unlike the timing-based
-## bench-*-check gates) because the simulation is deterministic — it cannot
-## flake on a loaded machine. Run bench-kernels-check as well before
-## merging kernel-touching changes.
-verify: build vet staticcheck test race obs-smoke load-check
+## observability, serving, fabric, load harness), smoke the /metrics
+## exposition, replay the committed load trace through the virtual-time
+## simulator and gate on its SLO, then run the fabric worker-crash matrix.
+## load-check joins verify (unlike the timing-based bench-*-check gates)
+## because the simulation is deterministic — it cannot flake on a loaded
+## machine. Run bench-kernels-check as well before merging kernel-touching
+## changes.
+verify: build vet staticcheck test race obs-smoke load-check fabric-chaos
 
 build:
 	$(GO) build ./...
@@ -32,7 +33,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sched/... ./internal/core/... ./internal/cluster/... ./internal/engine/... ./internal/clusterchaos/... ./internal/serve/... ./internal/obs/... ./internal/loadgen/...
+	$(GO) test -race ./internal/sched/... ./internal/core/... ./internal/cluster/... ./internal/engine/... ./internal/clusterchaos/... ./internal/serve/... ./internal/obs/... ./internal/loadgen/... ./internal/fabric/...
 
 ## obs-smoke: boot the instrumented serving stack on a loopback port, drive
 ## requests through it and fail on any malformed /metrics exposition line
@@ -42,18 +43,28 @@ obs-smoke:
 	$(GO) run ./cmd/obssmoke
 
 ## fuzz: short smoke of the native fuzz targets (wire-frame decoder, PQR
-## parser, load-trace spec) on top of their committed seed corpora.
-## CI-friendly budget; run with a larger -fuzztime locally to dig.
+## parser, load-trace spec, fabric membership wire) on top of their
+## committed seed corpora. CI-friendly budget; run with a larger -fuzztime
+## locally to dig.
 fuzz:
 	$(GO) test ./internal/cluster/ -run '^$$' -fuzz FuzzDecodeFrame -fuzztime 10s
 	$(GO) test ./internal/molecule/ -run '^$$' -fuzz FuzzParsePQR -fuzztime 10s
 	$(GO) test ./internal/loadgen/ -run '^$$' -fuzz FuzzTraceSpec -fuzztime 10s
+	$(GO) test ./internal/fabric/ -run '^$$' -fuzz FuzzDecodeMessage -fuzztime 10s
 
 ## chaos: the full fault-injection acceptance matrix — every fault class ×
 ## both transports × P ∈ {2,4,8} × 8 seeds. The fatal classes each spend
 ## their receive timeout, so this takes minutes by design.
 chaos:
 	CHAOS_FULL=1 $(GO) test ./internal/clusterchaos/ -run TestChaosMatrix -timeout 30m -v
+
+## fabric-chaos: the serving fabric's worker-crash matrix — victim index ×
+## crash mode (HTTP-only vs full) × hedging, each cell a live router + 3
+## engine workers with one killed mid-load. Asserts no accepted request
+## lost, ring convergence, and router health on the survivors. Seconds of
+## wall time, so it rides in verify.
+fabric-chaos:
+	FABRIC_CHAOS=1 $(GO) test ./internal/fabric/ -run TestChaosWorkerCrashMatrix -count=1 -timeout 10m
 
 ## load-check: SLO regression gate — replay the committed steady-mixed
 ## trace through the virtual-time simulator, untuned then with the

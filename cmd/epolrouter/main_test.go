@@ -1,0 +1,145 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"octgb"
+	"octgb/internal/fabric"
+	"octgb/internal/serve"
+)
+
+// TestEpolrouterEndToEnd drives the binary's real entry point: a worker
+// registers against the membership listener, an energy request routed
+// through the front end matches the library's one-shot octgb.Compute, and
+// SIGTERM shuts the router down cleanly.
+func TestEpolrouterEndToEnd(t *testing.T) {
+	var out bytes.Buffer
+	ready := make(chan [2]string, 1)
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run([]string{"-addr", "127.0.0.1:0", "-membership", "127.0.0.1:0", "-timeout", "500ms"}, &out, ready)
+	}()
+	var addrs [2]string
+	select {
+	case addrs = <-ready:
+	case err := <-runErr:
+		t.Fatalf("run exited before listening: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("router never became ready")
+	}
+	base := "http://" + addrs[0]
+
+	// An empty ring is unhealthy by design.
+	hz, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz with no workers = %d, want 503", hz.StatusCode)
+	}
+
+	// One real engine worker joins the ring.
+	srv := serve.New(serve.Config{Addr: "127.0.0.1:0", Workers: 1, Threads: 1})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+	agent, err := fabric.StartWorker(fabric.WorkerConfig{
+		RouterAddr: addrs[1],
+		WorkerID:   "w0",
+		Advertise:  srv.Addr(),
+		Epoch:      1,
+		Timeout:    500 * time.Millisecond,
+		Load:       fabric.ServeLoad(srv),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+	if !agent.WaitRegistered(10 * time.Second) {
+		t.Fatal("worker never registered")
+	}
+
+	// Routed energy matches the in-process library answer.
+	mol := octgb.GenerateProtein("router-demo", 120, 3)
+	want, err := octgb.Compute(mol, octgb.Options{
+		Engine: octgb.OctCilk, Threads: 1, BornEps: 0.9, EpolEps: 0.9,
+		Surface: octgb.SurfaceOptions{SubdivLevel: 1, Degree: 1, RadiusScale: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(serve.EnergyRequest{Molecule: serve.FromMolecule(mol)})
+	resp, err := http.Post(base+"/v1/energy", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var er serve.EnergyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("routed energy status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(fabric.WorkerHeader); got != "w0" {
+		t.Fatalf("%s = %q, want w0", fabric.WorkerHeader, got)
+	}
+	if d := er.Energy - want.Energy; d > 1e-9 || d < -1e-9 {
+		t.Fatalf("routed %.17g vs octgb.Compute %.17g", er.Energy, want.Energy)
+	}
+
+	// /stats speaks the router's own schema.
+	st, err := http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats fabric.RouterStats
+	err = json.NewDecoder(st.Body).Decode(&stats)
+	st.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Workers) != 1 || stats.Requests.Forwarded < 1 {
+		t.Fatalf("router stats off: %+v", stats)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("run returned %v after SIGTERM, want clean exit", err)
+		}
+	case <-time.After(time.Minute):
+		t.Fatal("run never returned after SIGTERM")
+	}
+	for _, wantLine := range []string{"routing on", "shutting down", "stopped"} {
+		if !strings.Contains(out.String(), wantLine) {
+			t.Fatalf("log missing %q:\n%s", wantLine, out.String())
+		}
+	}
+}
+
+// TestEpolrouterBadFlags: flag errors surface as a run() error, not an
+// os.Exit deep in the stack.
+func TestEpolrouterBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-no-such-flag"}, &out, nil); err == nil {
+		t.Fatal("expected flag parse error")
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"octgb/internal/core"
+	"octgb/internal/fabric"
 	"octgb/internal/obs"
 	"octgb/internal/serve"
 	"octgb/internal/surface"
@@ -73,6 +74,9 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		sloP99      = fs.Duration("slo-p99", 0, "enable the admission tuner: steer batch window, queue depth and shed threshold toward this admitted-p99 target (0 = tuner off)")
 		sloQPS      = fs.Float64("slo-min-qps", 0, "admitted-throughput floor the tuner protects while tightening (with -slo-p99)")
 		sloEvery    = fs.Duration("slo-interval", time.Second, "tuner control interval (with -slo-p99)")
+		join        = fs.String("join", "", "fabric worker mode: register with an epolrouter's membership address (host:port) and serve a shard")
+		workerID    = fs.String("worker-id", "", "stable worker identity on the ring (with -join; default host-pid)")
+		advertise   = fs.String("advertise", "", "HTTP address the router forwards to (with -join; default the bound listen address)")
 		verbose     = fs.Bool("v", false, "log every request")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -124,12 +128,49 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		return err
 	}
 	fmt.Fprintf(out, "epolserve: listening on %s\n", s.Addr())
+
+	// Fabric worker mode: join a router's ring and heartbeat load reports
+	// for its cache-aware balancer. The agent reconnects on its own if the
+	// router restarts; Close sends a Goodbye so a drain unmaps the shard
+	// immediately instead of waiting out the heartbeat timeout.
+	var agent *fabric.Worker
+	if *join != "" {
+		id := *workerID
+		if id == "" {
+			id = defaultWorkerID()
+		}
+		adv := *advertise
+		if adv == "" {
+			adv = s.Addr()
+		}
+		a, err := fabric.StartWorker(fabric.WorkerConfig{
+			RouterAddr: *join,
+			WorkerID:   id,
+			Advertise:  adv,
+			Epoch:      uint64(time.Now().UnixNano()),
+			Load:       fabric.ServeLoad(s),
+			Logf: func(format string, args ...any) {
+				if *verbose {
+					fmt.Fprintf(out, format+"\n", args...)
+				}
+			},
+		})
+		if err != nil {
+			_ = s.Shutdown(context.Background())
+			return err
+		}
+		agent = a
+		fmt.Fprintf(out, "epolserve: joining fabric at %s as %s (advertising %s)\n", *join, id, adv)
+	}
 	if ready != nil {
 		ready <- s.Addr()
 	}
 
 	sig := <-sigCh
 	fmt.Fprintf(out, "epolserve: %v — draining\n", sig)
+	if agent != nil {
+		agent.Close() // goodbye first: the router stops routing here before the drain
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := s.Shutdown(ctx); err != nil {
@@ -137,4 +178,25 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	}
 	fmt.Fprintln(out, "epolserve: drained")
 	return nil
+}
+
+// defaultWorkerID derives a ring identity from host and pid, restricted
+// to the registration protocol's ID alphabet.
+func defaultWorkerID() string {
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "worker"
+	}
+	id := []byte(fmt.Sprintf("%s-%d", host, os.Getpid()))
+	for i, c := range id {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_', c == '.':
+		default:
+			id[i] = '-'
+		}
+	}
+	if len(id) > 64 {
+		id = id[:64]
+	}
+	return string(id)
 }

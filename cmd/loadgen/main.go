@@ -13,6 +13,11 @@
 //	            (its own listener on 127.0.0.1:0). Honest end-to-end
 //	            latencies, but wall-time expensive: keep live traces small.
 //	-mode both  live smoke after the sim pair.
+//	-target URL router mode: drive an already-running deployment — an
+//	            epolrouter front end or a bare epolserve — instead of
+//	            booting a server in-process (implies -mode live). Against a
+//	            router the report breaks admitted qps down per shard from
+//	            the X-Octgb-Worker response header.
 //
 // Gating:
 //
@@ -29,6 +34,7 @@
 //
 //	go run ./cmd/loadgen -trace traces/steady-mixed.json -o BENCH_slo.json
 //	go run ./cmd/loadgen -trace traces/steady-mixed.json -check BENCH_slo.json
+//	go run ./cmd/loadgen -trace traces/steady-mixed.json -target http://127.0.0.1:8700
 package main
 
 import (
@@ -37,6 +43,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
 	"octgb/internal/loadgen"
@@ -64,6 +72,7 @@ func main() {
 		mode     = flag.String("mode", "sim", "sim, live, or both")
 		interval = flag.Duration("interval", 250*time.Millisecond, "tuner control interval")
 		speed    = flag.Float64("speed", 1, "live-mode time dilation (2 = replay twice as fast)")
+		target   = flag.String("target", "", "base URL of a running router or server to drive (implies -mode live; no in-process server)")
 		check    = flag.String("check", "", "verify against a committed BENCH_slo.json; exit 1 on regression")
 		out      = flag.String("o", "", "write the report JSON to this file")
 	)
@@ -72,13 +81,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "loadgen: -trace is required")
 		os.Exit(2)
 	}
-	if err := run(*trace, *mode, *interval, *speed, *check, *out); err != nil {
+	if *target != "" {
+		*mode = "live"
+	}
+	if err := run(*trace, *mode, *interval, *speed, *target, *check, *out); err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(tracePath, mode string, interval time.Duration, speed float64, checkPath, outPath string) error {
+func run(tracePath, mode string, interval time.Duration, speed float64, target, checkPath, outPath string) error {
 	raw, err := os.ReadFile(tracePath)
 	if err != nil {
 		return err
@@ -108,12 +120,23 @@ func run(tracePath, mode string, interval time.Duration, speed float64, checkPat
 			len(doc.Tuned.Decisions), doc.Tuned.FinalKnobs)
 	}
 	if mode == "live" || mode == "both" {
-		if doc.Live, err = runLive(spec, reqs, interval, speed); err != nil {
+		if doc.Live, err = runLive(spec, reqs, interval, speed, target); err != nil {
 			return err
 		}
 		fmt.Printf("live:        p99=%.1fms qps=%.1f completed=%d rejected=%d shed=%d failed=%d\n",
 			doc.Live.P99MS, doc.Live.AdmittedQPS, doc.Live.Completed,
 			doc.Live.RejectedQueueFull, doc.Live.Shed, doc.Live.Failed)
+		if len(doc.Live.PerShardQPS) > 0 {
+			shards := make([]string, 0, len(doc.Live.PerShardQPS))
+			for s := range doc.Live.PerShardQPS {
+				shards = append(shards, s)
+			}
+			sort.Strings(shards)
+			fmt.Printf("per-shard admitted qps:\n")
+			for _, s := range shards {
+				fmt.Printf("  %-24s %.1f\n", s, doc.Live.PerShardQPS[s])
+			}
+		}
 	}
 
 	if outPath != "" {
@@ -145,8 +168,16 @@ func tunerFor(spec *loadgen.TraceSpec, interval time.Duration) *serve.TunerConfi
 
 // runLive boots a real server sized by the trace's sim block (tuner
 // enabled — live mode exists to watch the real control loop move) and
-// replays the trace against it over HTTP.
-func runLive(spec *loadgen.TraceSpec, reqs []loadgen.Request, interval time.Duration, speed float64) (*loadgen.Report, error) {
+// replays the trace against it over HTTP. With a -target the boot is
+// skipped and the trace drives the given deployment — an epolrouter front
+// end fans the arrivals out across its shards.
+func runLive(spec *loadgen.TraceSpec, reqs []loadgen.Request, interval time.Duration, speed float64, target string) (*loadgen.Report, error) {
+	if target != "" {
+		return loadgen.RunLive(spec, reqs, loadgen.LiveOptions{
+			BaseURL: strings.TrimRight(target, "/"),
+			Speed:   speed,
+		})
+	}
 	cfg := serve.Config{
 		Addr:     "127.0.0.1:0",
 		Workers:  spec.Sim.Workers,

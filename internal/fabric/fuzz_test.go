@@ -1,0 +1,62 @@
+package fabric
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// fuzzMessageBytes marshals through EncodeMessage itself so the seed
+// corpus stays in lockstep with the encoder (the FuzzDecodeFrame pattern
+// from internal/cluster).
+func fuzzMessageBytes(t testing.TB, m *Message) []byte {
+	t.Helper()
+	frame, err := EncodeMessage(m)
+	if err != nil {
+		t.Fatalf("EncodeMessage: %v", err)
+	}
+	return frame
+}
+
+// FuzzDecodeMessage drives the membership wire decoder with arbitrary
+// bytes. The contract under test: DecodeMessage returns errors — it never
+// panics, never allocates beyond maxWirePayload, and never loops forever
+// on a finite stream.
+func FuzzDecodeMessage(f *testing.F) {
+	f.Add(fuzzMessageBytes(f, &Message{Type: MsgRegister, WorkerID: "w0", Addr: "127.0.0.1:9001", Epoch: 1}))
+	f.Add(fuzzMessageBytes(f, &Message{Type: MsgAck, OK: true}))
+	f.Add(fuzzMessageBytes(f, &Message{Type: MsgAck, Detail: "registration rejected"}))
+	f.Add(fuzzMessageBytes(f, &Message{Type: MsgHeartbeat, WorkerID: "w0", Load: LoadReport{
+		Workers: 8, QueueDepth: 2, Inflight: 8, Sessions: 5, CacheEntries: 17, CacheHits: 400, CacheMisses: 12,
+	}}))
+	f.Add(fuzzMessageBytes(f, &Message{Type: MsgGoodbye, WorkerID: "w0"}))
+	bad := fuzzMessageBytes(f, &Message{Type: MsgHeartbeat, WorkerID: "w1"})
+	bad[len(bad)-1] ^= 0xFF // payload corruption: CRC must reject
+	f.Add(bad)
+	huge := fuzzMessageBytes(f, &Message{Type: MsgRegister, WorkerID: "w2", Addr: "a"})
+	binary.LittleEndian.PutUint32(huge[4:8], 0xFFFFFFFF) // absurd length: bound must reject
+	f.Add(huge)
+	two := append(
+		fuzzMessageBytes(f, &Message{Type: MsgHeartbeat, WorkerID: "w3"}),
+		fuzzMessageBytes(f, &Message{Type: MsgGoodbye, WorkerID: "w3"})...)
+	f.Add(two) // back-to-back frames decode in sequence
+	f.Add([]byte{})
+	f.Add([]byte("not a frame at all"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			m, err := DecodeMessage(r)
+			if err != nil {
+				break // any error is acceptable; a panic or hang is not
+			}
+			// Decoded messages obey the wire bounds whatever the input.
+			if len(m.WorkerID) > maxWireString || len(m.Addr) > maxWireString || len(m.Detail) > maxWireString {
+				t.Fatalf("decoded message violates string bound: %+v", m)
+			}
+			if m.Type < MsgRegister || m.Type > MsgGoodbye {
+				t.Fatalf("decoded message has invalid type %d", m.Type)
+			}
+		}
+	})
+}

@@ -1,0 +1,159 @@
+package fabric
+
+import (
+	"fmt"
+	"testing"
+)
+
+// ringKeys deterministically generates n pseudo-random keyspace points by
+// hashing an index — the same uniformity the real keys (SHA-256 molecule
+// digests) have.
+func ringKeys(n int) []uint64 {
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = vnodeHash("key", i)
+	}
+	return keys
+}
+
+// TestRingBalance pins the satellite acceptance bound: with 8 workers at
+// the default vnode count, every worker's share of a uniform keyspace is
+// within ±15% of fair share.
+func TestRingBalance(t *testing.T) {
+	r := NewRing(DefaultVNodes)
+	const workers = 8
+	for i := 0; i < workers; i++ {
+		r.Add(fmt.Sprintf("w%d", i))
+	}
+	const n = 100_000
+	counts := make(map[string]int, workers)
+	for _, k := range ringKeys(n) {
+		owner := r.Owner(k)
+		if owner == "" {
+			t.Fatal("empty owner on a populated ring")
+		}
+		counts[owner]++
+	}
+	fair := float64(n) / workers
+	for id, c := range counts {
+		dev := (float64(c) - fair) / fair
+		if dev < -0.15 || dev > 0.15 {
+			t.Errorf("worker %s owns %d keys (%.1f%% from fair share %.0f; want within ±15%%)", id, c, 100*dev, fair)
+		}
+	}
+	if len(counts) != workers {
+		t.Errorf("only %d of %d workers own keys", len(counts), workers)
+	}
+}
+
+// TestRingKeyMovement pins the consistency property: a single join or
+// leave moves at most ~K/N of the keys (with slack for vnode variance),
+// and keys that do move on a join move only onto the joiner.
+func TestRingKeyMovement(t *testing.T) {
+	const workers = 8
+	const n = 50_000
+	keys := ringKeys(n)
+
+	build := func(ids ...string) map[uint64]string {
+		r := NewRing(DefaultVNodes)
+		for _, id := range ids {
+			r.Add(id)
+		}
+		owners := make(map[uint64]string, n)
+		for _, k := range keys {
+			owners[k] = r.Owner(k)
+		}
+		return owners
+	}
+
+	ids := make([]string, workers)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("w%d", i)
+	}
+	before := build(ids...)
+
+	// Join: w8 enters. Only keys that land on w8 may change owner, and
+	// about 1/(N+1) of the keyspace should.
+	after := build(append(append([]string{}, ids...), "w8")...)
+	moved := 0
+	for k, o := range after {
+		if o != before[k] {
+			moved++
+			if o != "w8" {
+				t.Fatalf("key %x moved from %s to %s on a join of w8", k, before[k], o)
+			}
+		}
+	}
+	fair := float64(n) / (workers + 1)
+	if float64(moved) > 1.5*fair {
+		t.Errorf("join moved %d keys; want ≤ ~K/N = %.0f (1.5× slack)", moved, fair)
+	}
+	if moved == 0 {
+		t.Error("join moved no keys; the new worker owns nothing")
+	}
+
+	// Leave: w0 exits. Only w0's keys may move.
+	afterLeave := build(ids[1:]...)
+	moved = 0
+	for k, o := range afterLeave {
+		if o != before[k] {
+			moved++
+			if before[k] != "w0" {
+				t.Fatalf("key %x moved from %s to %s on a leave of w0", k, before[k], o)
+			}
+		}
+	}
+	fair = float64(n) / workers
+	if float64(moved) > 1.5*fair {
+		t.Errorf("leave moved %d keys; want ≤ ~K/N = %.0f (1.5× slack)", moved, fair)
+	}
+}
+
+// TestRingOwnersDistinct pins the replica-set contract: Owners returns
+// distinct members in ring order, truncated to the member count.
+func TestRingOwnersDistinct(t *testing.T) {
+	r := NewRing(64)
+	r.Add("a")
+	r.Add("b")
+	r.Add("c")
+	for _, k := range ringKeys(1000) {
+		owners := r.Owners(k, 2)
+		if len(owners) != 2 {
+			t.Fatalf("Owners(k,2) returned %d members", len(owners))
+		}
+		if owners[0] == owners[1] {
+			t.Fatalf("replica set contains a duplicate: %v", owners)
+		}
+		if got := r.Owner(k); got != owners[0] {
+			t.Fatalf("Owner (%s) disagrees with Owners[0] (%s)", got, owners[0])
+		}
+	}
+	if got := r.Owners(ringKeys(1)[0], 5); len(got) != 3 {
+		t.Fatalf("Owners(k,5) on a 3-ring returned %d members (want all 3)", len(got))
+	}
+	if got := NewRing(0).Owners(42, 2); got != nil {
+		t.Fatalf("Owners on an empty ring = %v, want nil", got)
+	}
+}
+
+// TestRingAddRemoveIdempotent pins membership edge cases.
+func TestRingAddRemoveIdempotent(t *testing.T) {
+	r := NewRing(32)
+	r.Add("a")
+	r.Add("a")
+	if r.Size() != 1 {
+		t.Fatalf("double Add: size %d", r.Size())
+	}
+	if len(r.hashes) != 32 {
+		t.Fatalf("double Add duplicated vnodes: %d", len(r.hashes))
+	}
+	r.Remove("missing")
+	r.Remove("a")
+	r.Remove("a")
+	if r.Size() != 0 || len(r.hashes) != 0 {
+		t.Fatalf("remove left residue: size=%d vnodes=%d", r.Size(), len(r.hashes))
+	}
+	if got := r.Owner(7); got != "" {
+		t.Fatalf("Owner on empty ring = %q", got)
+	}
+}

@@ -1,0 +1,284 @@
+package fabric
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// The membership/registration wire protocol. One TCP connection joins a
+// worker to the router for the worker's whole life: a Register message,
+// an Ack, then Heartbeat messages carrying load reports at a third of the
+// membership timeout (the cluster transport's heartbeat cadence), and an
+// optional Goodbye on graceful drain. The framing follows the hardened
+// cluster transport's rules: a magic number so a stray client is rejected
+// on the first frame, a CRC32C over the payload so corruption is an error
+// rather than a silent misread, and bounded lengths so arbitrary bytes
+// can never force a large allocation (pinned by FuzzDecodeMessage).
+
+// wireMagic distinguishes fabric membership frames from the cluster
+// transport's collectives (tcpMagic 0x0C7B) and from random traffic.
+const wireMagic = 0xFA8B
+
+// wireVersion is bumped on incompatible message-schema changes; a
+// mismatch is rejected at decode so mixed-version deployments fail
+// loudly at registration rather than subtly mid-run.
+const wireVersion = 1
+
+// Message types.
+const (
+	// MsgRegister announces a worker: ID, advertised HTTP address, epoch.
+	MsgRegister = byte(iota + 1)
+	// MsgAck answers a Register: OK or a rejection with Detail.
+	MsgAck
+	// MsgHeartbeat is the periodic liveness + load report.
+	MsgHeartbeat
+	// MsgGoodbye announces a graceful drain: the router unmaps the worker
+	// immediately instead of waiting out the heartbeat timeout.
+	MsgGoodbye
+)
+
+// Wire bounds: strings (worker IDs, addresses, rejection details) and the
+// whole payload. A frame longer than maxWirePayload is rejected before
+// any allocation proportional to the claimed length.
+const (
+	maxWireString  = 1 << 10
+	maxWirePayload = 1 << 14
+)
+
+// wireHdrLen is magic(2) + version(1) + type(1) + len(4) + crc32c(4).
+const wireHdrLen = 12
+
+var wireCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// LoadReport is a worker's self-reported load, carried on every
+// heartbeat. The router's cache-aware balancer reads it: QueueDepth and
+// Inflight against Workers decide whether the primary shard is busy
+// enough to spill to a replica; CacheEntries/Sessions describe how warm
+// the shard is.
+type LoadReport struct {
+	// Workers is the worker-pool size (capacity).
+	Workers int64 `json:"workers"`
+	// QueueDepth / Inflight are the instantaneous admission gauges.
+	QueueDepth int64 `json:"queue_depth"`
+	Inflight   int64 `json:"inflight"`
+	// Sessions is the live stream-session count.
+	Sessions int64 `json:"sessions"`
+	// CacheEntries / CacheHits / CacheMisses describe the prepared cache.
+	CacheEntries int64 `json:"cache_entries"`
+	CacheHits    int64 `json:"cache_hits"`
+	CacheMisses  int64 `json:"cache_misses"`
+}
+
+// busy reports whether the worker has no idle capacity: every pool slot
+// evaluating and at least one request queued behind them.
+func (l LoadReport) busy() bool {
+	return l.Workers > 0 && l.Inflight >= l.Workers && l.QueueDepth > 0
+}
+
+// Message is one membership frame. Every field is encoded for every
+// type (the schema is fixed); which fields are meaningful depends on
+// Type.
+type Message struct {
+	Type     byte
+	WorkerID string
+	// Addr is the worker's advertised HTTP address (Register only).
+	Addr string
+	// Epoch distinguishes a restarted worker from a duplicate
+	// registration: a Register whose Epoch is newer replaces the old
+	// entry; an equal-or-older one is rejected.
+	Epoch uint64
+	// OK / Detail carry the Ack verdict.
+	OK     bool
+	Detail string
+	// Load is the heartbeat's load report.
+	Load LoadReport
+}
+
+// appendString encodes s as u16 length + bytes.
+func appendString(b []byte, s string) []byte {
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+// EncodeMessage marshals m into a framed wire message.
+func EncodeMessage(m *Message) ([]byte, error) {
+	if len(m.WorkerID) > maxWireString || len(m.Addr) > maxWireString || len(m.Detail) > maxWireString {
+		return nil, fmt.Errorf("fabric: message string exceeds %d bytes", maxWireString)
+	}
+	payload := make([]byte, 0, 64+len(m.WorkerID)+len(m.Addr)+len(m.Detail))
+	payload = appendString(payload, m.WorkerID)
+	payload = appendString(payload, m.Addr)
+	payload = binary.LittleEndian.AppendUint64(payload, m.Epoch)
+	var ok byte
+	if m.OK {
+		ok = 1
+	}
+	payload = append(payload, ok)
+	payload = appendString(payload, m.Detail)
+	for _, v := range [...]int64{
+		m.Load.Workers, m.Load.QueueDepth, m.Load.Inflight, m.Load.Sessions,
+		m.Load.CacheEntries, m.Load.CacheHits, m.Load.CacheMisses,
+	} {
+		payload = binary.LittleEndian.AppendUint64(payload, uint64(v))
+	}
+
+	frame := make([]byte, wireHdrLen, wireHdrLen+len(payload))
+	binary.LittleEndian.PutUint16(frame[0:2], wireMagic)
+	frame[2] = wireVersion
+	frame[3] = m.Type
+	binary.LittleEndian.PutUint32(frame[4:8], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[8:12], crc32.Checksum(payload, wireCRC))
+	return append(frame, payload...), nil
+}
+
+// wireReader decodes bounded primitives out of a payload slice; any
+// overrun flips err once and every later read returns zero values, so
+// DecodeMessage needs a single error check at the end.
+type wireReader struct {
+	b   []byte
+	err error
+}
+
+func (r *wireReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("fabric: "+format, args...)
+	}
+}
+
+func (r *wireReader) str() string {
+	if r.err != nil {
+		return ""
+	}
+	if len(r.b) < 2 {
+		r.fail("truncated string length")
+		return ""
+	}
+	n := int(binary.LittleEndian.Uint16(r.b))
+	r.b = r.b[2:]
+	if n > maxWireString {
+		r.fail("string length %d exceeds %d", n, maxWireString)
+		return ""
+	}
+	if len(r.b) < n {
+		r.fail("truncated string body")
+		return ""
+	}
+	s := string(r.b[:n])
+	r.b = r.b[n:]
+	return s
+}
+
+func (r *wireReader) u64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) < 8 {
+		r.fail("truncated u64")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b)
+	r.b = r.b[8:]
+	return v
+}
+
+func (r *wireReader) u8() byte {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) < 1 {
+		r.fail("truncated u8")
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+
+// DecodeMessage reads one framed message from r. Malformed input — bad
+// magic, unknown version or type, oversized or truncated payload, CRC
+// mismatch, string overruns — yields an error, never a panic or an
+// oversized allocation (the FuzzDecodeMessage contract). io.EOF before
+// the first header byte is returned as io.EOF so callers can tell a
+// clean close from a torn frame.
+func DecodeMessage(rd io.Reader) (*Message, error) {
+	var hdr [wireHdrLen]byte
+	if _, err := io.ReadFull(rd, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("fabric: truncated message header: %w", err)
+		}
+		return nil, err
+	}
+	if binary.LittleEndian.Uint16(hdr[0:2]) != wireMagic {
+		return nil, fmt.Errorf("fabric: bad magic %#04x", binary.LittleEndian.Uint16(hdr[0:2]))
+	}
+	if hdr[2] != wireVersion {
+		return nil, fmt.Errorf("fabric: unsupported wire version %d (want %d)", hdr[2], wireVersion)
+	}
+	typ := hdr[3]
+	if typ < MsgRegister || typ > MsgGoodbye {
+		return nil, fmt.Errorf("fabric: unknown message type %d", typ)
+	}
+	n := binary.LittleEndian.Uint32(hdr[4:8])
+	if n > maxWirePayload {
+		return nil, fmt.Errorf("fabric: payload %d bytes exceeds limit %d", n, maxWirePayload)
+	}
+	crc := binary.LittleEndian.Uint32(hdr[8:12])
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(rd, payload); err != nil {
+		return nil, fmt.Errorf("fabric: truncated payload: %w", err)
+	}
+	if got := crc32.Checksum(payload, wireCRC); got != crc {
+		return nil, fmt.Errorf("fabric: payload CRC32C mismatch (got %08x, want %08x)", got, crc)
+	}
+
+	m := &Message{Type: typ}
+	r := wireReader{b: payload}
+	m.WorkerID = r.str()
+	m.Addr = r.str()
+	m.Epoch = r.u64()
+	m.OK = r.u8() != 0
+	m.Detail = r.str()
+	for _, dst := range [...]*int64{
+		&m.Load.Workers, &m.Load.QueueDepth, &m.Load.Inflight, &m.Load.Sessions,
+		&m.Load.CacheEntries, &m.Load.CacheHits, &m.Load.CacheMisses,
+	} {
+		*dst = int64(r.u64())
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.b) != 0 {
+		return nil, fmt.Errorf("fabric: %d trailing payload bytes", len(r.b))
+	}
+	return m, nil
+}
+
+// writeMessage encodes and writes one message.
+func writeMessage(w io.Writer, m *Message) error {
+	frame, err := EncodeMessage(m)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(frame)
+	return err
+}
+
+// validWorkerID constrains registered IDs to URL- and label-safe bytes.
+// The router embeds worker IDs in routed stream-session IDs
+// ("id~session") and in Prometheus label values, so the delimiter and
+// quoting characters are excluded.
+func validWorkerID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for _, c := range id {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}

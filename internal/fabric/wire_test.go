@@ -1,0 +1,128 @@
+package fabric
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleMessages() []*Message {
+	return []*Message{
+		{Type: MsgRegister, WorkerID: "w0", Addr: "127.0.0.1:9001", Epoch: 42},
+		{Type: MsgAck, OK: true},
+		{Type: MsgAck, OK: false, Detail: "duplicate registration (epoch 1 <= live epoch 2)"},
+		{Type: MsgHeartbeat, WorkerID: "w0", Load: LoadReport{
+			Workers: 8, QueueDepth: 3, Inflight: 8, Sessions: 12,
+			CacheEntries: 40, CacheHits: 1000, CacheMisses: 50,
+		}},
+		{Type: MsgGoodbye, WorkerID: "shard-a.2"},
+		{Type: MsgHeartbeat, Load: LoadReport{QueueDepth: -1}}, // negative survives the u64 trip
+	}
+}
+
+// TestWireRoundTrip pins Encode→Decode identity for every message type.
+func TestWireRoundTrip(t *testing.T) {
+	for _, m := range sampleMessages() {
+		frame, err := EncodeMessage(m)
+		if err != nil {
+			t.Fatalf("encode %+v: %v", m, err)
+		}
+		got, err := DecodeMessage(bytes.NewReader(frame))
+		if err != nil {
+			t.Fatalf("decode %+v: %v", m, err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Fatalf("round trip mismatch:\n sent %+v\n got  %+v", m, got)
+		}
+	}
+}
+
+// TestWireStream pins multi-message framing: back-to-back frames decode in
+// order and a clean end of stream is io.EOF (how the registry tells a
+// graceful close from a torn frame).
+func TestWireStream(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := sampleMessages()
+	for _, m := range msgs {
+		if err := writeMessage(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range msgs {
+		got, err := DecodeMessage(&buf)
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if got.Type != msgs[i].Type {
+			t.Fatalf("message %d: type %d, want %d", i, got.Type, msgs[i].Type)
+		}
+	}
+	if _, err := DecodeMessage(&buf); err != io.EOF {
+		t.Fatalf("end of stream: %v, want io.EOF", err)
+	}
+}
+
+// TestWireRejectsMalformed pins the decoder's failure modes: every
+// corruption is a typed error, never a panic or an oversized allocation.
+func TestWireRejectsMalformed(t *testing.T) {
+	good, err := EncodeMessage(&Message{Type: MsgHeartbeat, WorkerID: "w"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(mut func(b []byte)) []byte {
+		b := append([]byte(nil), good...)
+		mut(b)
+		return b
+	}
+	cases := map[string][]byte{
+		"bad magic":         corrupt(func(b []byte) { b[0] ^= 0xFF }),
+		"bad version":       corrupt(func(b []byte) { b[2] = 99 }),
+		"bad type zero":     corrupt(func(b []byte) { b[3] = 0 }),
+		"bad type high":     corrupt(func(b []byte) { b[3] = MsgGoodbye + 1 }),
+		"oversized payload": corrupt(func(b []byte) { binary.LittleEndian.PutUint32(b[4:8], maxWirePayload+1) }),
+		"flipped payload":   corrupt(func(b []byte) { b[len(b)-1] ^= 1 }),
+		"flipped crc":       corrupt(func(b []byte) { b[8] ^= 1 }),
+		"truncated header":  good[:wireHdrLen-3],
+		"truncated payload": good[:len(good)-2],
+		"trailing bytes": func() []byte {
+			// Inflate the declared length and recompute the CRC so only the
+			// trailing-bytes check can object.
+			payload := append(append([]byte(nil), good[wireHdrLen:]...), 0)
+			b := append(append([]byte(nil), good[:wireHdrLen]...), payload...)
+			binary.LittleEndian.PutUint32(b[4:8], uint32(len(payload)))
+			binary.LittleEndian.PutUint32(b[8:12], crc32.Checksum(payload, wireCRC))
+			return b
+		}(),
+	}
+	for name, frame := range cases {
+		if _, err := DecodeMessage(bytes.NewReader(frame)); err == nil {
+			t.Errorf("%s: decoded successfully, want error", name)
+		} else if err == io.EOF {
+			t.Errorf("%s: io.EOF, want a typed error", name)
+		}
+	}
+}
+
+// TestWireStringBound pins the encoder-side bound.
+func TestWireStringBound(t *testing.T) {
+	if _, err := EncodeMessage(&Message{Type: MsgAck, Detail: strings.Repeat("x", maxWireString+1)}); err == nil {
+		t.Fatal("oversized Detail encoded, want error")
+	}
+}
+
+func TestValidWorkerID(t *testing.T) {
+	for _, ok := range []string{"w0", "shard-a.2", "A_b-c.9", strings.Repeat("x", 64)} {
+		if !validWorkerID(ok) {
+			t.Errorf("validWorkerID(%q) = false, want true", ok)
+		}
+	}
+	for _, bad := range []string{"", "a~b", "a b", "a/b", `a"b`, strings.Repeat("x", 65), "αβ"} {
+		if validWorkerID(bad) {
+			t.Errorf("validWorkerID(%q) = true, want false", bad)
+		}
+	}
+}

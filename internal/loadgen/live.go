@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"octgb/internal/fabric"
 	"octgb/internal/molecule"
 	"octgb/internal/obs"
 	"octgb/internal/serve"
@@ -35,6 +36,25 @@ type liveCounters struct {
 	// warmAt); the histograms likewise only see post-warm-up latencies.
 	measured atomic.Int64
 	warmAt   time.Time
+	// shardMu guards shard: post-warm completions per serving shard, keyed
+	// by the fabric router's WorkerHeader. Stays empty against a bare
+	// server, which never sets the header.
+	shardMu sync.Mutex
+	shard   map[string]int64
+}
+
+// countShard attributes one measured completion to the shard that served
+// it.
+func (ctr *liveCounters) countShard(worker string) {
+	if worker == "" {
+		return
+	}
+	ctr.shardMu.Lock()
+	if ctr.shard == nil {
+		ctr.shard = make(map[string]int64)
+	}
+	ctr.shard[worker]++
+	ctr.shardMu.Unlock()
 }
 
 // RunLive replays the arrival sequence against a live server, open-loop:
@@ -102,6 +122,14 @@ func RunLive(spec *TraceSpec, reqs []Request, opt LiveOptions) (*Report, error) 
 		rep.WarmupS = w.Seconds()
 	}
 	rep.fillLatencyWindow(ctr.reqHist.Snapshot(), ctr.queueHist.Snapshot(), ctr.measured.Load(), span)
+	ctr.shardMu.Lock()
+	if len(ctr.shard) > 0 && span > 0 {
+		rep.PerShardQPS = make(map[string]float64, len(ctr.shard))
+		for worker, n := range ctr.shard {
+			rep.PerShardQPS[worker] = float64(n) / span.Seconds()
+		}
+	}
+	ctr.shardMu.Unlock()
 	return rep, nil
 }
 
@@ -174,6 +202,7 @@ func post(opt LiveOptions, ctr *liveCounters, path string, body, out any) bool {
 		if t0.After(ctr.warmAt) || time.Now().After(ctr.warmAt) {
 			ctr.measured.Add(1)
 			ctr.reqHist.Observe(lat)
+			ctr.countShard(resp.Header.Get(fabric.WorkerHeader))
 		}
 		if out != nil {
 			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {

@@ -2,10 +2,14 @@ package loadgen
 
 import (
 	"context"
+	"fmt"
+	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"octgb/internal/fabric"
 	"octgb/internal/serve"
 	"octgb/internal/testutil"
 )
@@ -54,5 +58,64 @@ func TestRunLiveSmoke(t *testing.T) {
 	// Every offered arrival was accounted for somewhere.
 	if rep.Completed+rep.RejectedQueueFull+rep.Shed < rep.Offered {
 		t.Fatalf("accounting leak: %+v", rep)
+	}
+	// A bare server never sets the shard header.
+	if rep.PerShardQPS != nil {
+		t.Fatalf("bare server produced per-shard qps: %+v", rep.PerShardQPS)
+	}
+}
+
+// TestRunLivePerShard: when the target stamps responses with the fabric
+// router's worker header, the report breaks admitted qps down per shard.
+// The router itself is faked with a header-stamping middleware — the
+// fabric package's own tests cover real routing.
+func TestRunLivePerShard(t *testing.T) {
+	defer testutil.Watchdog(t, 2*time.Minute)()
+	srv := serve.New(serve.Config{Workers: 1, Threads: 1, MaxQueue: 16})
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		shard := fmt.Sprintf("w%d", n.Add(1)%2)
+		w.Header().Set(fabric.WorkerHeader, shard)
+		srv.Handler().ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+
+	spec := &TraceSpec{
+		Name:     "per-shard-test",
+		Seed:     11,
+		Requests: 8,
+		Arrivals: ArrivalSpec{Process: ProcPoisson, RateHz: 50},
+		Classes:  []ClassSpec{{Kind: KindEnergy, Weight: 1, Atoms: 60}},
+	}
+	reqs, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunLive(spec, reqs, LiveOptions{BaseURL: ts.URL, Speed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 0 || rep.Completed == 0 {
+		t.Fatalf("run unhealthy: %+v", rep)
+	}
+	if len(rep.PerShardQPS) != 2 {
+		t.Fatalf("per-shard qps = %v, want both fake shards", rep.PerShardQPS)
+	}
+	var sum float64
+	for shard, qps := range rep.PerShardQPS {
+		if qps <= 0 {
+			t.Fatalf("shard %s has qps %v", shard, qps)
+		}
+		sum += qps
+	}
+	// The shard breakdown partitions the aggregate (same completions, same
+	// measurement window).
+	if d := sum - rep.AdmittedQPS; d > 1e-9 || d < -1e-9 {
+		t.Fatalf("per-shard sum %.6f != admitted %.6f", sum, rep.AdmittedQPS)
 	}
 }

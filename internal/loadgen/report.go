@@ -44,6 +44,11 @@ type Report struct {
 	P99MS       float64 `json:"p99_ms"`
 	QueueP99MS  float64 `json:"queue_p99_ms"`
 
+	// PerShardQPS breaks AdmittedQPS down by serving shard when the live
+	// run targets a fabric router (keyed by the X-Octgb-Worker response
+	// header; see internal/fabric). Empty against a bare server.
+	PerShardQPS map[string]float64 `json:"per_shard_qps,omitempty"`
+
 	// Decisions is the tuner's deterministic decision log (tuned runs).
 	Decisions []string `json:"decisions,omitempty"`
 	// FinalKnobs are the admission knobs in force at the end of the run.

@@ -171,6 +171,37 @@ func endpointLatency(h *obs.Histogram) EndpointLatency {
 	}
 }
 
+// LoadStats is the instantaneous load view a fabric worker agent reports
+// on its membership heartbeats (internal/fabric): admission gauges
+// against pool capacity plus shard warmth. Plain ints so fabric maps the
+// fields without serve importing it.
+type LoadStats struct {
+	Workers      int
+	QueueDepth   int
+	Inflight     int64
+	Sessions     int
+	CacheEntries int
+	CacheHits    int64
+	CacheMisses  int64
+}
+
+// LoadStats returns the current load view; safe for concurrent use.
+func (s *Server) LoadStats() LoadStats {
+	entries, _ := s.cache.stats()
+	s.sessMu.Lock()
+	live := len(s.sessions)
+	s.sessMu.Unlock()
+	return LoadStats{
+		Workers:      s.cfg.Workers,
+		QueueDepth:   len(s.queue),
+		Inflight:     s.metrics.inflight.Load(),
+		Sessions:     live,
+		CacheEntries: entries,
+		CacheHits:    s.metrics.cacheHits.Load(),
+		CacheMisses:  s.metrics.cacheMisses.Load(),
+	}
+}
+
 func (s *Server) snapshot() StatsSnapshot {
 	m := s.metrics
 	var out StatsSnapshot
